@@ -1,0 +1,133 @@
+package qtenon
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each runs the corresponding experiment generator at Quick scale (so
+// `go test -bench=.` terminates promptly); the full paper-scale runs are
+// produced by `go run ./cmd/qtenon-bench`.
+
+import (
+	"testing"
+
+	"qtenon/internal/bench"
+	"qtenon/internal/circuit"
+	"qtenon/internal/host"
+	"qtenon/internal/opt"
+	"qtenon/internal/qsim"
+	"qtenon/internal/slt"
+	"qtenon/internal/system"
+	"qtenon/internal/tilelink"
+	"qtenon/internal/vqa"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(name, bench.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Tables.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Figures.
+func BenchmarkFigure1(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// Design-choice ablations beyond the paper (DESIGN.md §3).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// Component micro-benchmarks: the hot paths behind the experiments.
+
+func BenchmarkStatevector12Qubit(b *testing.B) {
+	w, err := vqa.NewQAOA(12, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := w.Circuit.Bind(w.InitialParams)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qsim.Run(bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQtenonEvaluation64q(b *testing.B) {
+	w, err := vqa.New(vqa.VQE, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := system.DefaultConfig(host.BoomL())
+	cfg.Shots = 500
+	sys, err := system.New(cfg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Evaluate(w.InitialParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSLTLookup(b *testing.B) {
+	s := slt.DefaultNew(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(uint8(i%16), uint32(i%4096))
+	}
+}
+
+func BenchmarkTileLinkTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bus, err := tilelink.NewBus(tilelink.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rbq := tilelink.NewRBQ(32, 8, 4096)
+		if _, err := tilelink.Transfer(bus, rbq, 0, 256, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGDIteration(b *testing.B) {
+	w, err := vqa.NewQAOA(10, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := system.DefaultConfig(host.Rocket())
+	cfg.Shots = 100
+	o := opt.DefaultOptions()
+	o.Iterations = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Run(cfg, w, false, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCircuitSchedule(b *testing.B) {
+	w, err := vqa.New(vqa.VQE, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := w.Circuit.Bind(w.InitialParams)
+	t := circuit.DefaultTiming()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		circuit.ScheduleASAP(bound, t)
+	}
+}

@@ -1,0 +1,88 @@
+// Command qtenon-bench regenerates the paper's tables and figures from
+// the implemented system models.
+//
+// Usage:
+//
+//	qtenon-bench                 # run every experiment at full scale
+//	qtenon-bench -exp fig13      # one experiment
+//	qtenon-bench -quick          # CI-sized parameters
+//	qtenon-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qtenon/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick  = flag.Bool("quick", false, "run reduced-scale experiments")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir = flag.String("csv", "", "also write sweep data (fig11/fig12) as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Names(), "\n"))
+		return
+	}
+	if *csvDir != "" {
+		sc := bench.Full
+		if *quick {
+			sc = bench.QuickScale
+		}
+		for _, spsa := range []bool{false, true} {
+			rows, err := bench.SweepRows(sc, spsa)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+				os.Exit(1)
+			}
+			name := "fig11_gd.csv"
+			if spsa {
+				name = "fig12_spsa.csv"
+			}
+			path := *csvDir + "/" + name
+			if err := os.WriteFile(path, []byte(bench.SweepCSV(rows)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", path, len(rows))
+		}
+		srows, err := bench.ScaleRows(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+			os.Exit(1)
+		}
+		path := *csvDir + "/fig17_scalability.csv"
+		if err := os.WriteFile(path, []byte(bench.ScaleCSV(srows)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(srows))
+		return
+	}
+	sc := bench.Full
+	if *quick {
+		sc = bench.QuickScale
+	}
+	names := bench.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := bench.Run(strings.TrimSpace(name), sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qtenon-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,166 @@
+// Command qtenon runs one hybrid quantum-classical workload on the
+// Qtenon system, the decoupled baseline, or both, and prints the cost
+// trajectory and end-to-end time breakdown.
+//
+// Usage:
+//
+//	qtenon -workload qaoa -qubits 16 -optimizer spsa -iterations 10
+//	qtenon -workload vqe -qubits 64 -system both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qtenon/internal/baseline"
+	"qtenon/internal/host"
+	"qtenon/internal/mapper"
+	"qtenon/internal/opt"
+	"qtenon/internal/quantum"
+	"qtenon/internal/report"
+	"qtenon/internal/system"
+	"qtenon/internal/trace"
+	"qtenon/internal/vqa"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "qaoa", "qaoa | vqe | qnn")
+		qubits    = flag.Int("qubits", 16, "register width")
+		optimizer = flag.String("optimizer", "spsa", "gd | spsa")
+		iters     = flag.Int("iterations", 10, "optimizer iterations")
+		shots     = flag.Int("shots", 500, "shots per circuit evaluation")
+		sys       = flag.String("system", "qtenon", "qtenon | baseline | both")
+		core      = flag.String("core", "boom", "rocket | boom (Qtenon host core)")
+		showTrace = flag.Bool("trace", false, "render a resource timeline of the Qtenon run")
+		noisy     = flag.Bool("noise", false, "run the chip with typical NISQ error rates")
+		coupling  = flag.String("coupling", "all", "all | line | grid (Qtenon qubit connectivity; non-all routes the circuit)")
+	)
+	flag.Parse()
+
+	kind, err := parseWorkload(*workload)
+	if err != nil {
+		fail(err)
+	}
+	w, err := vqa.New(kind, *qubits)
+	if err != nil {
+		fail(err)
+	}
+	useSPSA := strings.EqualFold(*optimizer, "spsa")
+	if !useSPSA && !strings.EqualFold(*optimizer, "gd") {
+		fail(fmt.Errorf("unknown optimizer %q", *optimizer))
+	}
+	o := opt.DefaultOptions()
+	o.Iterations = *iters
+
+	fmt.Printf("workload %s, %d parameters, optimizer %s, %d iterations, %d shots\n",
+		w.Name, w.NumParams(), strings.ToUpper(*optimizer), *iters, *shots)
+
+	var qres, bres *report.RunResult
+	if *sys == "qtenon" || *sys == "both" {
+		cfg := system.DefaultConfig(pickCore(*core))
+		cfg.Shots = *shots
+		if *noisy {
+			cfg.Noise = quantum.TypicalNISQ()
+		}
+		switch strings.ToLower(*coupling) {
+		case "all":
+		case "line":
+			cfg.Coupling = mapper.Line(*qubits)
+		case "grid":
+			rows := 1
+			for rows*rows < *qubits {
+				rows++
+			}
+			cols := (*qubits + rows - 1) / rows
+			cfg.Coupling = mapper.Grid(rows, cols)
+		default:
+			fail(fmt.Errorf("unknown coupling %q", *coupling))
+		}
+		qsys, err := system.New(cfg, w)
+		if err != nil {
+			fail(err)
+		}
+		var rec *trace.Recorder
+		if *showTrace {
+			rec = &trace.Recorder{}
+			qsys.SetTrace(rec)
+		}
+		var ores opt.Result
+		if useSPSA {
+			ores, err = opt.SPSA(qsys.Evaluate, w.InitialParams, o)
+		} else {
+			ores, err = opt.GradientDescent(qsys.Evaluate, w.InitialParams, o)
+		}
+		if err != nil {
+			fail(err)
+		}
+		res := report.RunResult{
+			Breakdown: qsys.Breakdown(), Comm: qsys.Comm(),
+			History: ores.History, Evaluations: ores.Evaluations,
+			InstructionCount: qsys.Instructions(),
+		}
+		qres = &res
+		printRun("Qtenon", res)
+		if rec != nil {
+			fmt.Println("\nresource timeline:")
+			fmt.Print(rec.Render(100))
+		}
+	}
+	if *sys == "baseline" || *sys == "both" {
+		cfg := baseline.DefaultConfig()
+		cfg.Shots = *shots
+		res, err := baseline.Run(cfg, w, useSPSA, o)
+		if err != nil {
+			fail(err)
+		}
+		bres = &res
+		printRun("baseline", res)
+	}
+	if qres != nil && bres != nil {
+		fmt.Printf("end-to-end speedup: %.2f×  classical speedup: %.1f×\n",
+			report.Speedup(bres.Breakdown.Total(), qres.Breakdown.Total()),
+			report.Speedup(bres.Breakdown.Classical(), qres.Breakdown.Classical()))
+	}
+}
+
+func parseWorkload(name string) (vqa.Kind, error) {
+	switch strings.ToLower(name) {
+	case "qaoa":
+		return vqa.QAOA, nil
+	case "vqe":
+		return vqa.VQE, nil
+	case "qnn":
+		return vqa.QNN, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q (want qaoa|vqe|qnn)", name)
+	}
+}
+
+func pickCore(name string) host.Core {
+	if strings.EqualFold(name, "rocket") {
+		return host.Rocket()
+	}
+	return host.BoomL()
+}
+
+func printRun(name string, res report.RunResult) {
+	fmt.Printf("\n[%s] %d evaluations, %d ISA ops\n", name, res.Evaluations, res.InstructionCount)
+	fmt.Printf("  %v\n", res.Breakdown)
+	if res.Comm.Total() > 0 {
+		p := res.Comm.Percent()
+		fmt.Printf("  comm by class: q_set %.1f%%, q_update %.1f%%, q_acquire %.1f%%\n", p[0], p[1], p[2])
+	}
+	fmt.Print("  cost history:")
+	for _, c := range res.History {
+		fmt.Printf(" %.4f", c)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qtenon:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package qtenon is a from-scratch Go reproduction of "Qtenon: Towards
+// Low-Latency Architecture Integration for Accelerating Hybrid
+// Quantum-Classical Computing" (ISCA 2025): a tightly coupled RISC-V +
+// quantum-controller architecture simulator, the decoupled baseline it
+// is compared against, the three VQA workloads, and a benchmark harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// The public surface lives under internal/ by design: the deliverables
+// are the executables in cmd/, the examples in examples/, and the
+// experiment benchmarks in bench_test.go. See README.md for a tour and
+// DESIGN.md for the system inventory.
+package qtenon

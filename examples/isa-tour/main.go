@@ -1,0 +1,114 @@
+// ISA tour: program the Qtenon controller at the instruction level —
+// assemble the five custom RoCC instructions, inspect their encodings,
+// walk the quantum controller cache address map, and drive the pulse
+// pipeline by hand (compile → q_set → q_update → q_gen).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/compiler"
+	"qtenon/internal/isa"
+	"qtenon/internal/pipeline"
+	"qtenon/internal/qcc"
+	"qtenon/internal/rocc"
+	"qtenon/internal/slt"
+)
+
+func main() {
+	// 1. The instruction set (Table 3 / Figure 8).
+	fmt.Println("-- Qtenon ISA encodings (custom-0) --")
+	program := `
+# one hybrid iteration
+q_update x3, x7    ; refresh one parameter register
+q_gen x5           ; recompute affected pulses
+q_run x9, x8       ; run shots from x8, token to x9
+q_acquire x4, x5   ; stream .measure to host memory
+`
+	words, err := isa.AssembleAll(strings.NewReader(program))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range words {
+		text, _ := isa.Disassemble(w)
+		fmt.Printf("  0x%08x  %s\n", w, text)
+	}
+
+	// 2. The rs2 transfer descriptor: 39-bit QAddress + 25-bit length.
+	rs2, err := rocc.PackTransfer(0x80000, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qaddr, length := rocc.UnpackTransfer(rs2)
+	fmt.Printf("\n-- transfer descriptor -- rs2=0x%016x → qaddr=0x%x length=%d\n", rs2, qaddr, length)
+
+	// 3. The unified memory map (Figure 4) for an 8-qubit controller.
+	cfg := qcc.DefaultConfig(8)
+	fmt.Println("\n-- quantum controller cache map (8 qubits) --")
+	fmt.Printf("  .program q0 @ 0x%05x   q7 @ 0x%05x\n", cfg.ProgramBase(0), cfg.ProgramBase(7))
+	fmt.Printf("  .regfile    @ 0x%05x\n", cfg.RegfileBase())
+	fmt.Printf("  .measure    @ 0x%05x\n", cfg.MeasureBase())
+	fmt.Printf("  .pulse   q0 @ 0x%05x\n", cfg.PulseBase(0))
+	fmt.Printf("  total size: %d bytes\n", cfg.TotalBytes())
+
+	// 4. Hand-drive the pipeline: compile a tiny circuit, load it, update
+	// a parameter, regenerate.
+	w := exampleCircuit()
+	prog, err := compiler.Compile(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache, err := qcc.NewCache(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prog.Load(cache, []float64{0.5}); err != nil {
+		log.Fatal(err)
+	}
+	bank := slt.NewBank(cfg.NQubits, cfg.PulseEntries)
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), cache, bank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipe.Run(prog.Items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- q_gen #1 -- %d entries, %d pulses generated, %d cycles\n",
+		res.Processed, res.Generated, res.Cycles)
+
+	// q_update parameter 0 and regenerate: only its gates recompute.
+	deltas, _ := prog.Diff([]float64{0.5}, []float64{0.9})
+	if err := compiler.ApplyDeltas(cache, deltas); err != nil {
+		log.Fatal(err)
+	}
+	res2, err := pipe.Run(prog.Items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- q_update + q_gen #2 -- %d deltas, %d pulses regenerated, %d cycles (%.0f%% fewer)\n",
+		len(deltas), res2.Generated, res2.Cycles,
+		100*(1-float64(res2.Cycles)/float64(res.Cycles)))
+	fmt.Printf("SLT: %d lookups, %.0f%% served without synthesis\n",
+		bank.TotalStats().Lookups, 100*bank.TotalStats().HitRate())
+}
+
+// exampleCircuit builds a small parameterized circuit: a fixed H layer,
+// one trainable RX per qubit sharing parameter 0, and a CZ ring.
+func exampleCircuit() *circuit.Circuit {
+	b := circuit.NewBuilder(8)
+	for q := 0; q < 8; q++ {
+		b.H(q)
+	}
+	for q := 0; q < 8; q++ {
+		b.RXP(q, 0)
+	}
+	for q := 0; q < 8; q += 2 {
+		b.CZ(q, q+1)
+	}
+	b.MeasureAll()
+	return b.MustBuild()
+}

@@ -1,0 +1,3 @@
+module qtenon
+
+go 1.22

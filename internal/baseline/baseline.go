@@ -1,0 +1,209 @@
+// Package baseline models the decoupled quantum system Qtenon is compared
+// against (§7.1): an i9-14900K host connected to an FPGA quantum
+// controller over a 100-gigabit UDP link (switches omitted, as in the
+// paper), with Qiskit-style just-in-time compilation every evaluation,
+// fixed 1000 ns-per-pulse FPGA pulse generation, and strictly sequential
+// execution — no overlap between quantum execution, transmission, and
+// host processing.
+package baseline
+
+import (
+	"fmt"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/host"
+	"qtenon/internal/isa"
+	"qtenon/internal/opt"
+	"qtenon/internal/quantum"
+	"qtenon/internal/report"
+	"qtenon/internal/sim"
+	"qtenon/internal/vqa"
+)
+
+// Link models the host↔FPGA network: a fixed per-message overhead
+// (kernel UDP stack + NIC) plus payload time at line rate.
+type Link struct {
+	PerMessage sim.Time
+	BitsPerNs  float64 // line rate; 100 Gb/s = 100 bits/ns
+}
+
+// DefaultLink returns the calibrated 100 GbE UDP model.
+func DefaultLink() Link {
+	return Link{PerMessage: 8 * sim.Microsecond, BitsPerNs: 100}
+}
+
+// MessageTime is the latency of one message carrying `bytes` of payload.
+func (l Link) MessageTime(bytes int) sim.Time {
+	payload := sim.FromNanoseconds(float64(bytes*8) / l.BitsPerNs)
+	return l.PerMessage + payload
+}
+
+// Config assembles a baseline system.
+type Config struct {
+	Core  host.Core
+	Costs host.Costs
+	Link  Link
+	// PulsePerGate is the FPGA's fixed pulse-generation latency (paper:
+	// 1000 ns per pulse, sequential).
+	PulsePerGate sim.Time
+	ADI          quantum.ADI
+	Shots        int
+	Seed         int64
+	// Noise selects the chip error model; the zero value is ideal.
+	Noise quantum.Noise
+	// BatchResults ships all shot results in one message instead of one
+	// message per shot (an ablation; the default decoupled stack streams
+	// per shot).
+	BatchResults bool
+}
+
+// DefaultConfig returns the paper's baseline setup.
+func DefaultConfig() Config {
+	return Config{
+		Core:         host.I9(),
+		Costs:        host.DefaultCosts(),
+		Link:         DefaultLink(),
+		PulsePerGate: 1000 * sim.Nanosecond,
+		ADI:          quantum.DefaultADI(),
+		Shots:        500,
+		Seed:         1,
+	}
+}
+
+// System is a decoupled machine bound to one workload.
+type System struct {
+	cfg      Config
+	workload *vqa.Workload
+	chip     quantum.Executor
+	shape    isa.WorkloadShape
+	pulses   int // drive pulses per circuit execution (2q gates → 2)
+	// programLen is the quantum-dedicated instruction count of one
+	// compiled circuit, measured by actually generating eQASM-style code
+	// for the workload (isa.GenerateEQASM) rather than estimated.
+	programLen int
+
+	// Accumulated accounting.
+	breakdown report.Breakdown
+	evals     int
+	instrs    int
+}
+
+// New binds a baseline system to a workload.
+func New(cfg Config, w *vqa.Workload) (*System, error) {
+	if cfg.Shots <= 0 {
+		return nil, fmt.Errorf("baseline: non-positive shot count")
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return nil, err
+	}
+	var chip quantum.Executor
+	var err error
+	if cfg.Noise.Enabled() {
+		chip, err = quantum.NewNoisyChip(w.NQubits(), cfg.Seed, cfg.Noise)
+	} else {
+		chip, err = quantum.NewChip(w.NQubits(), cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ct := w.Circuit.Count()
+	// Generate the actual quantum-dedicated program once to size the
+	// per-evaluation upload; the structure is parameter-independent.
+	gen, err := isa.GenerateEQASM(w.Circuit.Bind(w.InitialParams), circuit.DefaultTiming())
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:      cfg,
+		workload: w,
+		chip:     chip,
+		shape: isa.WorkloadShape{
+			Gates:      ct.OneQubit + ct.TwoQubit,
+			TwoQubit:   ct.TwoQubit,
+			Measures:   ct.Measure,
+			Params:     w.NumParams(),
+			Iterations: 1,
+		},
+		pulses:     ct.OneQubit + 2*ct.TwoQubit,
+		programLen: gen.Len(),
+	}, nil
+}
+
+// Evaluate runs one cost evaluation with full baseline accounting. It is
+// an opt.Evaluator.
+func (s *System) Evaluate(params []float64) (float64, error) {
+	s.evals++
+	var b report.Breakdown
+
+	// 1. JIT recompilation on the host — every evaluation, from scratch.
+	b.HostComp += s.cfg.Core.Time(s.cfg.Costs.JITCompile(s.shape.Gates))
+
+	// 2. Ship the compiled program to the FPGA. The binary carries one
+	//    word per quantum-dedicated instruction of the generated code.
+	programBytes := s.programLen * 4
+	b.Comm += s.cfg.Link.MessageTime(programBytes)
+	b.HostComp += s.cfg.Core.Time(s.cfg.Costs.DriverPerMessage)
+	s.instrs += s.programLen
+
+	// 3. FPGA pulse generation: fixed latency per pulse, sequential, no
+	//    reuse across evaluations.
+	b.PulseGen += sim.Time(s.pulses) * s.cfg.PulsePerGate
+
+	// 4. Quantum execution.
+	bound := s.workload.Circuit.Bind(params)
+	ex, err := s.chip.Execute(bound, s.cfg.Shots)
+	if err != nil {
+		return 0, err
+	}
+	b.Quantum += sim.Time(s.cfg.Shots) * (ex.ShotTime + s.cfg.ADI.RoundTrip())
+
+	// 5. Results return over UDP.
+	resultBytes := (s.workload.NQubits() + 7) / 8
+	if s.cfg.BatchResults {
+		b.Comm += s.cfg.Link.MessageTime(resultBytes * s.cfg.Shots)
+		b.HostComp += s.cfg.Core.Time(s.cfg.Costs.DriverPerMessage)
+	} else {
+		b.Comm += sim.Time(s.cfg.Shots) * s.cfg.Link.MessageTime(resultBytes)
+		b.HostComp += sim.Time(s.cfg.Shots) * s.cfg.Core.Time(s.cfg.Costs.DriverPerMessage)
+	}
+
+	// 6. Host post-processing and optimizer arithmetic.
+	b.HostComp += s.cfg.Core.Time(s.cfg.Costs.PostProcess(s.cfg.Shots, s.workload.NQubits()))
+	b.HostComp += s.cfg.Core.Time(s.cfg.Costs.ParamUpdate(s.workload.NumParams()))
+
+	s.breakdown.Add(b)
+	return s.workload.Cost(ex.Outcomes), nil
+}
+
+// Breakdown returns the accumulated time accounting.
+func (s *System) Breakdown() report.Breakdown { return s.breakdown }
+
+// Evaluations reports how many cost evaluations ran.
+func (s *System) Evaluations() int { return s.evals }
+
+// Run executes a full optimization (GD or SPSA) and returns the result
+// with accounting.
+func Run(cfg Config, w *vqa.Workload, useSPSA bool, o opt.Options) (report.RunResult, error) {
+	s, err := New(cfg, w)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	var res opt.Result
+	if useSPSA {
+		res, err = opt.SPSA(s.Evaluate, w.InitialParams, o)
+	} else {
+		res, err = opt.GradientDescent(s.Evaluate, w.InitialParams, o)
+	}
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	return report.RunResult{
+		Breakdown:        s.breakdown,
+		History:          res.History,
+		Evaluations:      res.Evaluations,
+		InstructionCount: s.instrs,
+		HostActivity:     s.breakdown.HostComp,
+		CommActivity:     s.breakdown.Comm,
+		PulsesGenerated:  int64(s.pulses) * int64(res.Evaluations),
+	}, nil
+}

@@ -1,0 +1,121 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section (§7). Each generator runs the actual system models
+// — no canned numbers except the embedded paper-reference values printed
+// alongside for comparison — and renders a text report.
+//
+// Generators accept a Scale: Full reproduces the paper's parameters
+// (500 shots, 10 iterations, 8–64-qubit sweeps); Quick shrinks them for
+// CI and `go test -bench`.
+package bench
+
+import (
+	"fmt"
+
+	"qtenon/internal/baseline"
+	"qtenon/internal/host"
+	"qtenon/internal/opt"
+	"qtenon/internal/report"
+	"qtenon/internal/system"
+	"qtenon/internal/vqa"
+)
+
+// Scale selects experiment size.
+type Scale struct {
+	Quick bool
+}
+
+// Full is the paper-faithful scale; Quick is the CI scale.
+var (
+	Full       = Scale{Quick: false}
+	QuickScale = Scale{Quick: true}
+)
+
+// Iterations returns the optimizer iteration count (paper: 10).
+func (s Scale) Iterations() int {
+	if s.Quick {
+		return 2
+	}
+	return 10
+}
+
+// Shots returns the per-circuit shot count (paper: 500).
+func (s Scale) Shots() int {
+	if s.Quick {
+		return 100
+	}
+	return 500
+}
+
+// SweepQubits returns the Figure 11/12 qubit sweep (paper: 8–64).
+// Quick stays below the exact-simulation threshold at sizes where the
+// statevector is small.
+func (s Scale) SweepQubits() []int {
+	if s.Quick {
+		return []int{8, 12}
+	}
+	return []int{8, 16, 24, 32, 40, 48, 56, 64}
+}
+
+// ScaleQubits returns the Figure 17 sweep (paper: 64–320).
+func (s Scale) ScaleQubits() []int {
+	if s.Quick {
+		return []int{64, 128}
+	}
+	return []int{64, 128, 192, 256, 320}
+}
+
+// HeadlineQubits is the paper's headline register size, shrunk under
+// Quick.
+func (s Scale) HeadlineQubits() int {
+	if s.Quick {
+		return 12
+	}
+	return 64
+}
+
+func (s Scale) options() opt.Options {
+	o := opt.DefaultOptions()
+	o.Iterations = s.Iterations()
+	return o
+}
+
+// runQtenon executes a full optimization on the Qtenon system.
+func runQtenon(kind vqa.Kind, nq int, core host.Core, spsa bool, sc Scale) (report.RunResult, error) {
+	return runQtenonCfg(system.DefaultConfig(core), kind, nq, spsa, sc)
+}
+
+func runQtenonCfg(cfg system.Config, kind vqa.Kind, nq int, spsa bool, sc Scale) (report.RunResult, error) {
+	w, err := vqa.New(kind, nq)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	cfg.Shots = sc.Shots()
+	return system.Run(cfg, w, spsa, sc.options())
+}
+
+// runBaseline executes a full optimization on the decoupled baseline.
+func runBaseline(kind vqa.Kind, nq int, spsa bool, sc Scale) (report.RunResult, error) {
+	w, err := vqa.New(kind, nq)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	cfg := baseline.DefaultConfig()
+	cfg.Shots = sc.Shots()
+	return baseline.Run(cfg, w, spsa, sc.options())
+}
+
+func optimizerName(spsa bool) string {
+	if spsa {
+		return "SPSA"
+	}
+	return "GD"
+}
+
+func header(title string) string {
+	return fmt.Sprintf("== %s ==\n", title)
+}
+
+// table aliases the report table builder for brevity inside generators.
+type table = report.Table
+
+func newTable(cols ...string) *table { return report.NewTable(cols...) }

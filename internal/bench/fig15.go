@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"qtenon/internal/host"
+	"qtenon/internal/report"
+	"qtenon/internal/vqa"
+)
+
+// Figure15 reproduces the host execution time comparison: baseline vs
+// Qtenon with the Boom and Rocket cores, per workload and optimizer.
+// Host time on Qtenon is host activity (including work overlapped with
+// quantum execution), matching the figure's per-component profiling.
+func Figure15(sc Scale) (string, error) {
+	nq := sc.HeadlineQubits()
+	var sb strings.Builder
+	sb.WriteString(header(fmt.Sprintf("Figure 15: host execution time, %d qubits", nq)))
+
+	for _, spsa := range []bool{false, true} {
+		tb := newTable("workload", "baseline", "Qtenon-Boom", "Qtenon-Rocket", "speedup (Boom)")
+		for _, k := range vqa.Kinds() {
+			base, err := runBaseline(k, nq, spsa, sc)
+			if err != nil {
+				return "", err
+			}
+			boom, err := runQtenon(k, nq, host.BoomL(), spsa, sc)
+			if err != nil {
+				return "", err
+			}
+			rocket, err := runQtenon(k, nq, host.Rocket(), spsa, sc)
+			if err != nil {
+				return "", err
+			}
+			tb.AddRow(k.String(), base.Breakdown.HostComp.String(),
+				boom.HostActivity.String(), rocket.HostActivity.String(),
+				fmt.Sprintf("%.0f", report.Speedup(base.Breakdown.HostComp, boom.HostActivity)))
+		}
+		fmt.Fprintf(&sb, "-- %s --\n%s", optimizerName(spsa), tb.String())
+	}
+	sb.WriteString("paper: Boom-core speedups GD 308.7×/357.9×/175.0×, SPSA 461.4×/123.8×/132.8×;\n")
+	sb.WriteString("       the two RISC-V cores are nearly identical.\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Generator produces one experiment's report.
+type Generator func(Scale) (string, error)
+
+// Experiments maps experiment ids (DESIGN.md §3) to their generators.
+var Experiments = map[string]Generator{
+	"table1":    Table1,
+	"table2":    Table2,
+	"table5":    Table5,
+	"fig1":      Figure1,
+	"fig9":      Figure9,
+	"fig11":     Figure11,
+	"fig12":     Figure12,
+	"fig13":     Figure13,
+	"fig14":     Figure14,
+	"fig15":     Figure15,
+	"fig16":     Figure16,
+	"fig17":     Figure17,
+	"ablations": Ablations,
+}
+
+// Names lists experiment ids in a stable order.
+func Names() []string {
+	names := make([]string, 0, len(Experiments))
+	for n := range Experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by id.
+func Run(name string, sc Scale) (string, error) {
+	g, ok := Experiments[name]
+	if !ok {
+		return "", fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names())
+	}
+	return g(sc)
+}

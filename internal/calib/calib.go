@@ -1,0 +1,121 @@
+// Package calib implements the qubit-calibration experiments every
+// control stack (QubiC, QICK, the paper's §8 systems) ships: Rabi
+// amplitude scans and Ramsey fringe measurements. They are hybrid
+// quantum-classical loops in miniature — sweep a pulse parameter, run
+// shots, fit a curve — and they exercise the chip and workload paths
+// with known-physics ground truth, so their fits double as end-to-end
+// validation of the simulator.
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/quantum"
+)
+
+// Point is one sweep sample.
+type Point struct {
+	X  float64 // swept parameter (angle or phase, radians)
+	P1 float64 // measured |1⟩ population
+}
+
+// RabiResult is a fitted Rabi oscillation: P1(θ) = A·sin²(θ/2) + B.
+type RabiResult struct {
+	Points []Point
+	// PiAngle is the drive angle that maximizes P1 — ideally π.
+	PiAngle float64
+	// Visibility is max(P1) − min(P1) — ideally 1 for a noiseless qubit.
+	Visibility float64
+}
+
+// Rabi sweeps the RX drive angle over [0, 2π) in `steps` steps with
+// `shots` measurements each and locates the π-pulse.
+func Rabi(chip quantum.Executor, qubit, steps, shots int) (RabiResult, error) {
+	if steps < 4 || shots < 1 {
+		return RabiResult{}, fmt.Errorf("calib: need ≥4 steps and ≥1 shot, have %d/%d", steps, shots)
+	}
+	if qubit < 0 || qubit >= chip.NQubits() {
+		return RabiResult{}, fmt.Errorf("calib: qubit %d out of range", qubit)
+	}
+	var res RabiResult
+	minP, maxP := 1.0, 0.0
+	for i := 0; i < steps; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(steps)
+		c := circuit.NewBuilder(chip.NQubits())
+		c.RX(qubit, theta).Measure(qubit)
+		ex, err := chip.Execute(c.MustBuild(), shots)
+		if err != nil {
+			return RabiResult{}, err
+		}
+		p1 := population(ex.Outcomes, qubit)
+		res.Points = append(res.Points, Point{X: theta, P1: p1})
+		if p1 > maxP {
+			maxP = p1
+			res.PiAngle = theta
+		}
+		if p1 < minP {
+			minP = p1
+		}
+	}
+	res.Visibility = maxP - minP
+	return res, nil
+}
+
+// RamseyResult is a fitted Ramsey fringe: P1(φ) = A·cos²(φ/2)+B shifted,
+// measuring phase coherence.
+type RamseyResult struct {
+	Points []Point
+	// FringeContrast is max−min of the fringe — 1 for full coherence.
+	FringeContrast float64
+	// ZeroPhase is the φ with maximal P1 — ideally π for the
+	// RX(π/2)·RZ(φ)·RX(π/2) sequence (which sums to RX(π) at φ=0…
+	// see the fringe convention in the tests).
+	ZeroPhase float64
+}
+
+// Ramsey runs the fringe experiment: RX(π/2) · RZ(φ) · RX(π/2), sweeping
+// the accumulated phase φ.
+func Ramsey(chip quantum.Executor, qubit, steps, shots int) (RamseyResult, error) {
+	if steps < 4 || shots < 1 {
+		return RamseyResult{}, fmt.Errorf("calib: need ≥4 steps and ≥1 shot, have %d/%d", steps, shots)
+	}
+	if qubit < 0 || qubit >= chip.NQubits() {
+		return RamseyResult{}, fmt.Errorf("calib: qubit %d out of range", qubit)
+	}
+	var res RamseyResult
+	minP, maxP := 1.0, 0.0
+	for i := 0; i < steps; i++ {
+		phi := 2 * math.Pi * float64(i) / float64(steps)
+		c := circuit.NewBuilder(chip.NQubits())
+		c.RX(qubit, math.Pi/2).RZ(qubit, phi).RX(qubit, math.Pi/2).Measure(qubit)
+		ex, err := chip.Execute(c.MustBuild(), shots)
+		if err != nil {
+			return RamseyResult{}, err
+		}
+		p1 := population(ex.Outcomes, qubit)
+		res.Points = append(res.Points, Point{X: phi, P1: p1})
+		if p1 > maxP {
+			maxP = p1
+			res.ZeroPhase = phi
+		}
+		if p1 < minP {
+			minP = p1
+		}
+	}
+	res.FringeContrast = maxP - minP
+	return res, nil
+}
+
+// population extracts qubit q's |1⟩ fraction from outcome words.
+func population(outcomes []uint64, q int) float64 {
+	if len(outcomes) == 0 || q >= 64 {
+		return 0
+	}
+	ones := 0
+	for _, o := range outcomes {
+		ones += int(o >> q & 1)
+	}
+	return float64(ones) / float64(len(outcomes))
+}

@@ -1,0 +1,123 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"qtenon/internal/quantum"
+)
+
+func TestRabiFindsPiPulse(t *testing.T) {
+	chip, err := quantum.NewChip(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rabi(chip, 0, 32, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 32 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The π pulse sits at θ = π to within the sweep resolution.
+	step := 2 * math.Pi / 32
+	if math.Abs(res.PiAngle-math.Pi) > step {
+		t.Errorf("PiAngle = %v, want ≈π", res.PiAngle)
+	}
+	if res.Visibility < 0.97 {
+		t.Errorf("visibility = %v on an ideal qubit", res.Visibility)
+	}
+	// The curve follows sin²(θ/2).
+	for _, p := range res.Points {
+		want := math.Pow(math.Sin(p.X/2), 2)
+		if math.Abs(p.P1-want) > 0.05 {
+			t.Errorf("P1(%.2f) = %v, want %v", p.X, p.P1, want)
+		}
+	}
+}
+
+func TestRabiOnSecondQubit(t *testing.T) {
+	chip, _ := quantum.NewChip(3, 9)
+	res, err := Rabi(chip, 2, 16, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visibility < 0.9 {
+		t.Errorf("visibility = %v", res.Visibility)
+	}
+}
+
+func TestRamseyFringe(t *testing.T) {
+	chip, _ := quantum.NewChip(1, 11)
+	res, err := Ramsey(chip, 0, 32, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FringeContrast < 0.97 {
+		t.Errorf("fringe contrast = %v on an ideal qubit", res.FringeContrast)
+	}
+	// RX(π/2)·RZ(φ)·RX(π/2): at φ=0 the sequence is RX(π) → P1=1; at φ=π
+	// the RZ echoes the rotations apart → P1=0. Peak at φ≈0 (mod 2π).
+	dist := math.Min(res.ZeroPhase, 2*math.Pi-res.ZeroPhase)
+	if dist > 2*math.Pi/32 {
+		t.Errorf("fringe peak at %v, want ≈0", res.ZeroPhase)
+	}
+}
+
+func TestNoiseReducesVisibility(t *testing.T) {
+	ideal, _ := quantum.NewChip(1, 13)
+	noisy, err := quantum.NewNoisyChip(1, 13, quantum.Noise{Readout: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Rabi(ideal, 0, 16, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Rabi(noisy, 0, 16, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Visibility >= ri.Visibility-0.1 {
+		t.Errorf("readout noise did not reduce visibility: %v vs %v", rn.Visibility, ri.Visibility)
+	}
+	// 15% symmetric readout error → visibility ≈ 1−2·0.15 = 0.7.
+	if math.Abs(rn.Visibility-0.7) > 0.08 {
+		t.Errorf("noisy visibility = %v, want ≈0.7", rn.Visibility)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	chip, _ := quantum.NewChip(2, 1)
+	if _, err := Rabi(chip, 0, 2, 100); err == nil {
+		t.Error("accepted too few steps")
+	}
+	if _, err := Rabi(chip, 5, 16, 100); err == nil {
+		t.Error("accepted out-of-range qubit")
+	}
+	if _, err := Ramsey(chip, 0, 16, 0); err == nil {
+		t.Error("accepted zero shots")
+	}
+	if _, err := Ramsey(chip, -1, 16, 10); err == nil {
+		t.Error("accepted negative qubit")
+	}
+}
+
+func TestSurrogateBackendCalibrates(t *testing.T) {
+	// Calibration works identically on the mean-field surrogate (1-qubit
+	// gates are exact there), so large chips are calibratable too.
+	chip, _ := quantum.NewChip(64, 17)
+	if chip.Exact() {
+		t.Fatal("64-qubit chip unexpectedly exact")
+	}
+	res, err := Rabi(chip, 63, 16, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visibility < 0.9 {
+		t.Errorf("surrogate visibility = %v", res.Visibility)
+	}
+	if res.PiAngle < math.Pi-0.5 || res.PiAngle > math.Pi+0.5 {
+		t.Errorf("surrogate PiAngle = %v", res.PiAngle)
+	}
+}

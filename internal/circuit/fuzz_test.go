@@ -1,0 +1,46 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQASM checks the parser never panics and that anything it
+// accepts re-serializes and re-parses to the same gate list.
+func FuzzParseQASM(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+		"qreg q[1];\nrx(1.5) q[0];\nmeasure q[0] -> c[0];\n",
+		"qreg q[3];\nrzz(-0.25) q[0],q[2];\nid q[1];",
+		"// comment only",
+		"qreg q[0];",
+		"qreg q[1];\nh q[9];",
+		"qreg q[2];\ncx q[0];",
+		"qreg q[1];\nrx(nan) q[0];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseQASM(strings.NewReader(src))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid circuit: %v", err)
+		}
+		text, err := QASMString(c)
+		if err != nil {
+			// Accepted circuits are always bound, so serialization must
+			// work.
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		back, err := ParseQASM(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+		}
+		if len(back.Gates) != len(c.Gates) {
+			t.Fatalf("round trip changed gate count %d → %d", len(c.Gates), len(back.Gates))
+		}
+	})
+}

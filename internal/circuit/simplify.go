@@ -1,0 +1,187 @@
+package circuit
+
+import "math"
+
+// Simplify performs peephole optimization on a circuit, returning a new
+// circuit that is semantically identical (same unitary up to global
+// phase) with no more gates than the input:
+//
+//   - identity gates are removed;
+//   - adjacent self-inverse pairs cancel (X·X, Y·Y, Z·Z, H·H, and
+//     CX/CZ pairs on the same operands);
+//   - adjacent same-axis fixed rotations on one qubit merge
+//     (RZ(a)·RZ(b) → RZ(a+b)), and merged rotations that are ≈0 mod 2π
+//     vanish;
+//   - S·S folds to Z, T·T folds to S.
+//
+// "Adjacent" means no intervening gate touches any operand qubit.
+// Parameterized gates (Param != NoParam) are never merged or cancelled —
+// their angles are unknown until q_update time — but fixed gates around
+// them still simplify. Measurements are barriers on their qubit.
+//
+// The pass runs to a fixpoint, so cancellations exposed by earlier
+// removals are found.
+func Simplify(c *Circuit) *Circuit {
+	out := c.Clone()
+	for {
+		before := len(out.Gates)
+		out.Gates = simplifyOnce(out.Gates)
+		if len(out.Gates) == before {
+			return out
+		}
+	}
+}
+
+func simplifyOnce(gates []Gate) []Gate {
+	alive := make([]bool, len(gates))
+	work := make([]Gate, len(gates))
+	copy(work, gates)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	for i := range work {
+		if !alive[i] {
+			continue
+		}
+		g := work[i]
+		if g.Kind == I {
+			alive[i] = false
+			continue
+		}
+		if g.Kind == Measure || g.Param != NoParam {
+			continue
+		}
+		j := nextTouching(work, alive, i)
+		if j < 0 {
+			continue
+		}
+		h := work[j]
+		if h.Kind == Measure || h.Param != NoParam {
+			continue
+		}
+		switch {
+		case cancels(g, h):
+			alive[i], alive[j] = false, false
+		case mergeableRotation(g, h):
+			sum := normalizeAngle(g.Theta + h.Theta)
+			if math.Abs(sum) < 1e-12 {
+				alive[i], alive[j] = false, false
+			} else {
+				work[j].Theta = sum
+				alive[i] = false
+			}
+		case g.Kind == S && h.Kind == S && g.Qubit == h.Qubit:
+			work[j] = Gate{Kind: Z, Qubit: g.Qubit, Param: NoParam}
+			alive[i] = false
+		case g.Kind == T && h.Kind == T && g.Qubit == h.Qubit:
+			work[j] = Gate{Kind: S, Qubit: g.Qubit, Param: NoParam}
+			alive[i] = false
+		}
+	}
+
+	var out []Gate
+	for i, g := range work {
+		if alive[i] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// nextTouching finds the next alive gate after i that shares a qubit
+// with gates[i], but only if NO other gate touches any of gate i's
+// qubits in between AND the found gate's qubit set equals overlap needs:
+// for cancellation/merging the two gates must have identical operand
+// sets, so any partial overlap blocks.
+func nextTouching(gates []Gate, alive []bool, i int) int {
+	gi := gates[i]
+	for j := i + 1; j < len(gates); j++ {
+		if !alive[j] {
+			continue
+		}
+		if !sharesQubit(gi, gates[j]) {
+			continue
+		}
+		if sameOperands(gi, gates[j]) {
+			return j
+		}
+		return -1 // partial overlap: blocked
+	}
+	return -1
+}
+
+func sharesQubit(a, b Gate) bool {
+	if a.Qubit == b.Qubit {
+		return true
+	}
+	if b.Kind.Arity() == 2 && a.Qubit == b.Qubit2 {
+		return true
+	}
+	if a.Kind.Arity() == 2 {
+		if a.Qubit2 == b.Qubit {
+			return true
+		}
+		if b.Kind.Arity() == 2 && a.Qubit2 == b.Qubit2 {
+			return true
+		}
+	}
+	return false
+}
+
+func sameOperands(a, b Gate) bool {
+	if a.Kind.Arity() != b.Kind.Arity() {
+		return false
+	}
+	if a.Kind.Arity() == 1 {
+		return a.Qubit == b.Qubit
+	}
+	direct := a.Qubit == b.Qubit && a.Qubit2 == b.Qubit2
+	if a.Kind == CX || b.Kind == CX {
+		// CX is direction-sensitive: control/target must match exactly.
+		return direct
+	}
+	swapped := a.Qubit == b.Qubit2 && a.Qubit2 == b.Qubit
+	return direct || swapped
+}
+
+// cancels reports whether g followed by h is the identity.
+func cancels(g, h Gate) bool {
+	if g.Kind != h.Kind || !sameOperands(g, h) {
+		return false
+	}
+	switch g.Kind {
+	case X, Y, Z, H, CZ:
+		return true
+	case CX:
+		return g.Qubit == h.Qubit && g.Qubit2 == h.Qubit2
+	default:
+		return false
+	}
+}
+
+// mergeableRotation reports whether two fixed rotations combine.
+func mergeableRotation(g, h Gate) bool {
+	if g.Kind != h.Kind || !g.Kind.Parameterized() {
+		return false
+	}
+	if !sameOperands(g, h) {
+		return false
+	}
+	if g.Kind == RZZ {
+		return true // symmetric
+	}
+	return g.Kind.Arity() == 1
+}
+
+// normalizeAngle folds into (-π, π].
+func normalizeAngle(t float64) float64 {
+	t = math.Mod(t, 2*math.Pi)
+	if t > math.Pi {
+		t -= 2 * math.Pi
+	}
+	if t <= -math.Pi {
+		t += 2 * math.Pi
+	}
+	return t
+}

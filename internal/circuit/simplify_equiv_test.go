@@ -1,0 +1,75 @@
+package circuit_test
+
+// External test package: verifies Simplify's semantic contract against
+// the statevector simulator (qsim imports circuit, so this must live
+// outside package circuit to avoid an import cycle).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qsim"
+)
+
+// Property: Simplify preserves the circuit's action on |0…0⟩ exactly
+// (up to global phase), for random circuits engineered to contain
+// cancellations.
+func TestSimplifySemanticEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	kinds := []circuit.Kind{circuit.X, circuit.Y, circuit.Z, circuit.H, circuit.S, circuit.T,
+		circuit.RX, circuit.RY, circuit.RZ, circuit.CZ, circuit.CX, circuit.RZZ}
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(3)
+		b := circuit.NewBuilder(n)
+		for i := 0; i < 25; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			g := circuit.Gate{Kind: k, Qubit: rng.Intn(n), Param: circuit.NoParam}
+			if k.Arity() == 2 {
+				g.Qubit2 = (g.Qubit + 1 + rng.Intn(n-1)) % n
+			}
+			if k.Parameterized() {
+				g.Theta = []float64{math.Pi, -math.Pi / 2, 0.7, 2 * math.Pi, 0.3}[rng.Intn(5)]
+			}
+			b.Gate(g)
+			if rng.Intn(3) == 0 { // seed explicit pairs
+				b.Gate(g)
+			}
+		}
+		c := b.MustBuild()
+		s := circuit.Simplify(c)
+		orig, err := qsim.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simp, err := qsim.Run(s)
+		if err != nil {
+			t.Fatalf("trial %d: simplified circuit invalid: %v", trial, err)
+		}
+		if f := orig.Fidelity(simp); math.Abs(f-1) > 1e-9 {
+			t.Fatalf("trial %d: fidelity %v after simplification\noriginal:   %v\nsimplified: %v",
+				trial, f, c.Gates, s.Gates)
+		}
+	}
+}
+
+// Simplify composes with Bind: simplifying then binding equals binding
+// then simplifying, semantically.
+func TestSimplifyCommutesWithBind(t *testing.T) {
+	c := circuit.NewBuilder(2).
+		H(0).H(0).RXP(0, 0).X(1).X(1).RZP(1, 1).CX(0, 1).CX(0, 1).
+		MustBuild()
+	params := []float64{0.4, -0.9}
+	a, err := qsim.Run(circuit.Simplify(c).Bind(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := qsim.Run(circuit.Simplify(c.Bind(params)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := a.Fidelity(b); math.Abs(f-1) > 1e-9 {
+		t.Errorf("fidelity = %v", f)
+	}
+}

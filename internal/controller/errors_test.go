@@ -1,0 +1,49 @@
+package controller
+
+import (
+	"testing"
+
+	"qtenon/internal/rocc"
+)
+
+func TestNewMachineRejects(t *testing.T) {
+	if _, err := NewMachine(0, 1); err == nil {
+		t.Error("accepted zero qubits")
+	}
+	if _, err := NewMachine(-3, 1); err == nil {
+		t.Error("accepted negative qubits")
+	}
+}
+
+func TestExecAllErrorPaths(t *testing.T) {
+	m, err := NewMachine(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undecodable word.
+	if err := m.ExecAll([]uint32{0x00000033}); err == nil {
+		t.Error("ExecAll accepted non-custom-0 word")
+	}
+	// Decodable word whose execution fails (q_gen before q_set).
+	w, _ := rocc.QGen(5).Encode()
+	if err := m.ExecAll([]uint32{w}); err == nil {
+		t.Error("ExecAll masked an execution error")
+	}
+}
+
+func TestExecUnknownFunct(t *testing.T) {
+	m, _ := NewMachine(2, 1)
+	if err := m.Exec(rocc.Instruction{Funct: 99}); err == nil {
+		t.Error("Exec accepted unknown funct")
+	}
+}
+
+func TestQSetOddLengthRejected(t *testing.T) {
+	m, words := ryMachine(t)
+	_ = words
+	rs2, _ := rocc.PackTransfer(0, 3) // odd word count: not entry-aligned
+	m.Regs[1], m.Regs[2] = 0x1000, rs2
+	if err := m.Exec(rocc.QSet(1, 2)); err == nil {
+		t.Error("q_set accepted odd word count")
+	}
+}

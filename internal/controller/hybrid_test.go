@@ -1,0 +1,104 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qcc"
+	"qtenon/internal/rocc"
+)
+
+// A complete hybrid quantum-classical optimization driven entirely
+// through the ISA: every quantum interaction is a q_update / q_gen /
+// q_run / q_acquire instruction against the machine, and the host reads
+// results from its own memory after the barrier marks them. Minimizes
+// ⟨Z⟩ = cos θ of RY(θ)|0⟩ by parameter-shift gradient descent; the
+// optimum is θ = π.
+func TestHybridLoopAtISALevel(t *testing.T) {
+	m, err := NewMachine(1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.NewBuilder(1).RYP(0, 0).Measure(0).MustBuild()
+	words, err := m.LoadProgram(c, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := qcc.DefaultConfig(1)
+	const (
+		shots   = 400
+		hostBuf = 0x8000
+		regBase = 3 // x3 = quantum addr, x4 = value, x6 = shots, x9 = token
+	)
+	_ = regBase
+
+	// q_set once.
+	rs2, _ := rocc.PackTransfer(0, uint32(words))
+	m.Regs[1], m.Regs[2] = 0x1000, rs2
+	if err := m.Exec(rocc.QSet(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// evaluate runs one cost evaluation ⟨Z⟩(θ) through the ISA.
+	evaluate := func(theta float64) float64 {
+		m.Regs[3] = uint64(cfg.RegfileBase())
+		m.Regs[4] = uint64(qcc.QuantizeAngle(theta))
+		if err := m.Exec(rocc.QUpdate(3, 4)); err != nil {
+			t.Fatal(err)
+		}
+		m.Regs[5] = 0
+		if err := m.Exec(rocc.QGen(5)); err != nil {
+			t.Fatal(err)
+		}
+		m.Regs[6] = shots
+		if err := m.Exec(rocc.QRun(6, 9)); err != nil {
+			t.Fatal(err)
+		}
+		ac, _ := rocc.PackTransfer(uint64(cfg.MeasureBase()), shots)
+		m.Regs[7], m.Regs[8] = hostBuf, ac
+		if err := m.Exec(rocc.QAcquire(7, 8)); err != nil {
+			t.Fatal(err)
+		}
+		// Host post-processing: read synchronized host memory.
+		var z float64
+		for i := 0; i < shots; i++ {
+			addr := uint64(hostBuf) + uint64(i)*8
+			if !m.Barrier().Query(addr) {
+				t.Fatalf("shot %d not synchronized", i)
+			}
+			if m.ReadHostMem(addr)&1 == 0 {
+				z++
+			} else {
+				z--
+			}
+		}
+		return z / shots
+	}
+
+	theta := 0.6 // away from both stationary points
+	const lr = 0.8
+	for iter := 0; iter < 12; iter++ {
+		grad := (evaluate(theta+math.Pi/2) - evaluate(theta-math.Pi/2)) / 2
+		theta -= lr * grad
+	}
+	final := evaluate(theta)
+	if final > -0.95 {
+		t.Errorf("hybrid loop converged to ⟨Z⟩ = %v at θ = %v, want ≈ -1 at θ ≈ π", final, theta)
+	}
+	folded := math.Mod(theta, 2*math.Pi)
+	if folded < 0 {
+		folded += 2 * math.Pi
+	}
+	if math.Abs(folded-math.Pi) > 0.25 {
+		t.Errorf("θ converged to %v, want ≈ π", folded)
+	}
+	// The ISA-level loop executed a realistic instruction mix.
+	// 12 iterations × 2 shift evals × 4 instructions + q_set + final eval.
+	if m.Executed < 12*2*4+1+4 {
+		t.Errorf("only %d instructions executed", m.Executed)
+	}
+	if m.Elapsed() <= 0 {
+		t.Error("no simulated time accumulated")
+	}
+}

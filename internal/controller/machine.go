@@ -1,0 +1,375 @@
+// Package controller implements an executable Qtenon machine: a RoCC
+// instruction interpreter wired to the real hardware models — the
+// quantum controller cache, SLT bank, pulse pipeline, TileLink bus, soft
+// memory barrier, and quantum chip.
+//
+// Where internal/system models full optimization runs with critical-path
+// accounting, this package executes literal instruction streams (as
+// produced by internal/isa's assembler) with architectural side effects:
+// q_update writes the .regfile, q_gen runs the pipeline, q_run executes
+// the circuit with angles taken from the register file, and
+// q_set/q_acquire move data between modeled host memory and the
+// controller cache over the bus. It is the reproduction of the paper's
+// claim that the quantum program is *computable data*: after q_update
+// rewrites a register, the very next q_run produces physically different
+// measurement statistics without recompilation.
+package controller
+
+import (
+	"fmt"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/compiler"
+	"qtenon/internal/pipeline"
+	"qtenon/internal/qcc"
+	"qtenon/internal/quantum"
+	"qtenon/internal/rocc"
+	"qtenon/internal/sim"
+	"qtenon/internal/slt"
+	"qtenon/internal/tilelink"
+)
+
+// Machine is one host-plus-controller instance.
+type Machine struct {
+	// Regs is the host integer register file; x0 is hardwired to zero.
+	Regs [32]uint64
+
+	cacheCfg qcc.Config
+	cache    *qcc.Cache
+	bank     *slt.Bank
+	pipe     *pipeline.Pipeline
+	chip     *quantum.Chip
+	bus      *tilelink.Bus
+	rbq      *tilelink.RBQ
+	wbq      *tilelink.WBQ
+	barrier  *tilelink.Barrier
+	clock    sim.Clock
+
+	// source is the host-side circuit whose lowered image lives in
+	// .program; q_run binds its parameters from the register file.
+	source *compiler.Program
+	ansatz *circuit.Circuit
+
+	hostMem map[uint64]uint64
+
+	elapsed sim.Time
+	shots   int
+	// Executed counts interpreted instructions.
+	Executed int
+}
+
+// NewMachine builds a machine for registers of the given width.
+func NewMachine(nqubits int, seed int64) (*Machine, error) {
+	cfg := qcc.DefaultConfig(nqubits)
+	cache, err := qcc.NewCache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bank := slt.NewBank(nqubits, cfg.PulseEntries)
+	pipe, err := pipeline.New(pipeline.DefaultConfig(), cache, bank)
+	if err != nil {
+		return nil, err
+	}
+	chip, err := quantum.NewChip(nqubits, seed)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := tilelink.NewBus(tilelink.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		cacheCfg: cfg,
+		cache:    cache,
+		bank:     bank,
+		pipe:     pipe,
+		chip:     chip,
+		bus:      bus,
+		rbq:      tilelink.NewRBQ(32, 8, 1<<20),
+		wbq:      tilelink.NewWBQ(tilelink.WBQLanes, 16),
+		barrier:  tilelink.NewBarrier(),
+		clock:    sim.NewClock(1_000_000_000),
+		hostMem:  make(map[uint64]uint64),
+	}, nil
+}
+
+// Elapsed reports the simulated time consumed by executed instructions.
+func (m *Machine) Elapsed() sim.Time { return m.elapsed }
+
+// Cache exposes the controller cache (tests and tooling).
+func (m *Machine) Cache() *qcc.Cache { return m.cache }
+
+// Barrier exposes the soft memory barrier.
+func (m *Machine) Barrier() *tilelink.Barrier { return m.barrier }
+
+// WriteHostMem stores a 64-bit word in modeled host memory.
+func (m *Machine) WriteHostMem(addr, v uint64) { m.hostMem[addr&^7] = v }
+
+// ReadHostMem loads a 64-bit word from modeled host memory.
+func (m *Machine) ReadHostMem(addr uint64) uint64 { return m.hostMem[addr&^7] }
+
+// LoadProgram compiles a parameterized circuit, stages its wire image in
+// host memory at base, and remembers it as the q_run source. It does NOT
+// touch the controller: shipping happens through q_set, like real
+// software. It returns the number of 64-bit words staged (two per
+// program entry: packed-low, packed-high).
+func (m *Machine) LoadProgram(c *circuit.Circuit, base uint64) (int, error) {
+	prog, err := compiler.Compile(c, m.cacheCfg)
+	if err != nil {
+		return 0, err
+	}
+	m.source = prog
+	m.ansatz = c
+	words := 0
+	addr := base
+	for q := range prog.Entries {
+		for _, e := range prog.Entries[q] {
+			hi, lo, err := e.Pack()
+			if err != nil {
+				return 0, err
+			}
+			m.WriteHostMem(addr, lo)
+			m.WriteHostMem(addr+8, uint64(hi))
+			addr += 16
+			words += 2
+		}
+	}
+	return words, nil
+}
+
+// Exec interprets one instruction.
+func (m *Machine) Exec(in rocc.Instruction) error {
+	m.Regs[0] = 0
+	m.Executed++
+	switch in.Funct {
+	case rocc.FnQUpdate:
+		return m.execUpdate(in)
+	case rocc.FnQSet:
+		return m.execSet(in)
+	case rocc.FnQAcquire:
+		return m.execAcquire(in)
+	case rocc.FnQGen:
+		return m.execGen(in)
+	case rocc.FnQRun:
+		return m.execRun(in)
+	default:
+		return fmt.Errorf("controller: unknown funct %v", in.Funct)
+	}
+}
+
+// ExecAll interprets an encoded instruction stream.
+func (m *Machine) ExecAll(words []uint32) error {
+	for i, w := range words {
+		in, err := rocc.Decode(w)
+		if err != nil {
+			return fmt.Errorf("controller: word %d: %w", i, err)
+		}
+		if err := m.Exec(in); err != nil {
+			return fmt.Errorf("controller: word %d (%v): %w", i, in, err)
+		}
+	}
+	return nil
+}
+
+// execUpdate: host register → quantum controller cache (datapath ❶,
+// single cycle). rs1 holds the quantum address, rs2 the value.
+func (m *Machine) execUpdate(in rocc.Instruction) error {
+	qaddr := int64(m.Regs[in.RS1])
+	loc, err := m.cacheCfg.Resolve(qaddr)
+	if err != nil {
+		return err
+	}
+	if loc.Segment != qcc.SegRegfile {
+		return fmt.Errorf("controller: q_update targets %v, want .regfile", loc.Segment)
+	}
+	if err := m.cache.WriteReg(loc.Index, uint32(m.Regs[in.RS2]), qcc.HostAccess); err != nil {
+		return err
+	}
+	m.elapsed += m.clock.Cycles(1)
+	return nil
+}
+
+// execSet: host memory → controller cache over datapath ❷. rs1 holds
+// the classical base address; rs2 packs (quantum address, word count).
+func (m *Machine) execSet(in rocc.Instruction) error {
+	if m.source == nil {
+		return fmt.Errorf("controller: q_set before LoadProgram staged an image")
+	}
+	src := m.Regs[in.RS1]
+	qaddr, length := rocc.UnpackTransfer(m.Regs[in.RS2])
+	if length == 0 {
+		return fmt.Errorf("controller: q_set with zero length")
+	}
+	if length%2 != 0 {
+		return fmt.Errorf("controller: q_set length %d not entry-aligned (2 words/entry)", length)
+	}
+	// Time the bulk transfer on the bus.
+	beats := (int(length)*8 + 31) / 32
+	res, err := tilelink.Transfer(m.bus, m.rbq, src, beats, false, nil)
+	if err != nil {
+		return err
+	}
+	m.elapsed += m.clock.Cycles(res.Cycles)
+
+	// Functional copy: pairs of words decode to program entries laid out
+	// sequentially from qaddr through the QAddress map. Each 128-bit
+	// entry image passes through the Write Buffer Queue's 32-bit lanes —
+	// the width adaptation of Figure 5 — before reaching the public
+	// cache's write port.
+	addr := qaddr
+	sindex := 0
+	for w := uint32(0); w < length; w += 2 {
+		lo := m.ReadHostMem(src + uint64(w)*8)
+		hi8 := m.ReadHostMem(src + uint64(w)*8 + 8)
+		words32 := []uint32{uint32(lo), uint32(lo >> 32), uint32(hi8), uint32(hi8 >> 32)}
+		if !m.wbq.Enqueue(sindex, words32) {
+			return fmt.Errorf("controller: WBQ backpressure mid-transfer")
+		}
+		var drained [4]uint32
+		for i := range drained {
+			v, ok := m.wbq.DrainLane((sindex + i) % tilelink.WBQLanes)
+			if !ok {
+				return fmt.Errorf("controller: WBQ lane %d empty on drain", (sindex+i)%tilelink.WBQLanes)
+			}
+			drained[i] = v
+		}
+		sindex = (sindex + 4) % tilelink.WBQLanes
+		lo = uint64(drained[0]) | uint64(drained[1])<<32
+		hi := uint8(uint64(drained[2]) | uint64(drained[3])<<32)
+		e := qcc.UnpackEntry(hi, lo)
+		loc, err := m.cacheCfg.Resolve(int64(addr))
+		if err != nil {
+			return err
+		}
+		if loc.Segment != qcc.SegProgram {
+			return fmt.Errorf("controller: q_set targets %v, want .program", loc.Segment)
+		}
+		if err := m.cache.WriteProgram(loc.Qubit, loc.Index, e, qcc.HostAccess); err != nil {
+			return err
+		}
+		// Advance through the program chunk; wrap to the next qubit's
+		// chunk boundary like the sequential layout LoadProgram staged.
+		if loc.Index+1 == len(m.source.Entries[loc.Qubit]) && loc.Qubit+1 < m.cacheCfg.NQubits {
+			addr = uint64(m.cacheCfg.ProgramBase(loc.Qubit + 1))
+		} else {
+			addr++
+		}
+	}
+	return nil
+}
+
+// execAcquire: controller cache → host memory. rs1 holds the classical
+// destination; rs2 packs (quantum address, word count).
+func (m *Machine) execAcquire(in rocc.Instruction) error {
+	dst := m.Regs[in.RS1]
+	qaddr, length := rocc.UnpackTransfer(m.Regs[in.RS2])
+	if length == 0 {
+		return fmt.Errorf("controller: q_acquire with zero length")
+	}
+	beats := (int(length)*8 + 31) / 32
+	res, err := tilelink.Transfer(m.bus, m.rbq, dst, beats, true, make([]uint64, beats))
+	if err != nil {
+		return err
+	}
+	m.elapsed += m.clock.Cycles(res.Cycles)
+	for w := uint32(0); w < length; w++ {
+		loc, err := m.cacheCfg.Resolve(int64(qaddr) + int64(w))
+		if err != nil {
+			return err
+		}
+		if loc.Segment != qcc.SegMeasure {
+			return fmt.Errorf("controller: q_acquire reads %v, want .measure", loc.Segment)
+		}
+		v, err := m.cache.ReadMeasure(loc.Index, qcc.HostAccess)
+		if err != nil {
+			return err
+		}
+		a := dst + uint64(w)*8
+		m.WriteHostMem(a, v)
+		m.barrier.MarkSynced(a)
+	}
+	return nil
+}
+
+// execGen: walk staged program entries through the pulse pipeline. When
+// register rs2 is zero the whole program is processed; otherwise rs2
+// packs a (QAddress, length) range and only entries inside it are
+// generated — the fine-grained control that lets the host regenerate a
+// single qubit chunk after a targeted q_update.
+func (m *Machine) execGen(in rocc.Instruction) error {
+	if m.source == nil {
+		return fmt.Errorf("controller: q_gen before any q_set")
+	}
+	items := m.source.Items
+	if rs2 := m.Regs[in.RS2]; rs2 != 0 {
+		start, length := rocc.UnpackTransfer(rs2)
+		end := int64(start) + int64(length)
+		var sub []pipeline.WorkItem
+		for _, it := range items {
+			qa := m.cacheCfg.ProgramBase(it.Qubit) + int64(it.Index)
+			if qa >= int64(start) && qa < end {
+				sub = append(sub, it)
+			}
+		}
+		items = sub
+	}
+	res, err := m.pipe.Run(items)
+	if err != nil {
+		return err
+	}
+	m.elapsed += m.clock.Cycles(res.Cycles)
+	return nil
+}
+
+// execRun: execute the program for Regs[rs1] shots, with rotation angles
+// resolved through the live register file, writing outcomes to .measure
+// and the completion token to rd.
+func (m *Machine) execRun(in rocc.Instruction) error {
+	if m.ansatz == nil {
+		return fmt.Errorf("controller: q_run before any q_set")
+	}
+	shots := int(m.Regs[in.RS1])
+	if shots <= 0 {
+		return fmt.Errorf("controller: q_run with %d shots", shots)
+	}
+	params := make([]float64, m.ansatz.NumParams)
+	for p := range params {
+		v, err := m.cache.ReadReg(m.source.ParamReg[p], qcc.HardwareAccess)
+		if err != nil {
+			return err
+		}
+		params[p] = qcc.DequantizeAngle(v)
+	}
+	bound := m.ansatz.Bind(params)
+	ex, err := m.chip.Execute(bound, shots)
+	if err != nil {
+		return err
+	}
+	wordsPerShot := (m.ansatz.NQubits + 63) / 64
+	for i, o := range ex.Outcomes {
+		idx := (i * wordsPerShot) % m.cacheCfg.MeasureEntries
+		if err := m.cache.WriteMeasure(idx, o, qcc.HardwareAccess); err != nil {
+			return err
+		}
+	}
+	m.shots = shots
+	m.elapsed += ex.TotalTime()
+	if in.XD {
+		m.Regs[in.RD] = uint64(shots)
+	}
+	return nil
+}
+
+// MeasureWindow returns the first n .measure words (convenience for
+// host-side post-processing in tests and examples).
+func (m *Machine) MeasureWindow(n int) ([]uint64, error) {
+	out := make([]uint64, n)
+	for i := range out {
+		v, err := m.cache.ReadMeasure(i, qcc.HostAccess)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package controller
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/isa"
+	"qtenon/internal/qcc"
+	"qtenon/internal/rocc"
+	"qtenon/internal/sim"
+)
+
+// bellMachine stages a parameterized single-qubit circuit RY(p0) on a
+// 2-qubit machine.
+func ryMachine(t *testing.T) (*Machine, int) {
+	t.Helper()
+	m, err := NewMachine(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.NewBuilder(2).RYP(0, 0).MeasureAll().MustBuild()
+	words, err := m.LoadProgram(c, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, words
+}
+
+// exec runs one assembled instruction.
+func exec(t *testing.T, m *Machine, line string) {
+	t.Helper()
+	in, err := isa.Assemble(line)
+	if err != nil {
+		t.Fatalf("%q: %v", line, err)
+	}
+	if err := m.Exec(in); err != nil {
+		t.Fatalf("%q: %v", line, err)
+	}
+}
+
+// setRegs is a helper to preload host registers.
+func setRegs(m *Machine, vals map[int]uint64) {
+	for r, v := range vals {
+		m.Regs[r] = v
+	}
+}
+
+func TestFullInstructionSequence(t *testing.T) {
+	m, words := ryMachine(t)
+	cfg := qcc.DefaultConfig(2)
+
+	// q_set: ship the staged image.
+	rs2, err := rocc.PackTransfer(0, uint32(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setRegs(m, map[int]uint64{1: 0x1000, 2: rs2})
+	exec(t, m, "q_set x1, x2")
+
+	// q_update: set parameter 0 to π (RY(π)|0⟩ = |1⟩).
+	setRegs(m, map[int]uint64{
+		3: uint64(cfg.RegfileBase()),
+		4: uint64(qcc.QuantizeAngle(math.Pi)),
+	})
+	exec(t, m, "q_update x3, x4")
+
+	// q_gen then q_run 200 shots.
+	exec(t, m, "q_gen x5")
+	setRegs(m, map[int]uint64{6: 200})
+	exec(t, m, "q_run x9, x6")
+	if m.Regs[9] != 200 {
+		t.Errorf("q_run token = %d, want 200", m.Regs[9])
+	}
+
+	// All outcomes must have qubit 0 = 1 (deterministic RY(π)).
+	win, err := m.MeasureWindow(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range win {
+		if w&1 != 1 {
+			t.Fatalf("shot %d: qubit0 = 0 after RY(π); q_update did not reach the physics", i)
+		}
+	}
+
+	// q_acquire moves results to host memory and marks the barrier.
+	ac, _ := rocc.PackTransfer(uint64(cfg.MeasureBase()), 10)
+	setRegs(m, map[int]uint64{7: 0x8000, 8: ac})
+	exec(t, m, "q_acquire x7, x8")
+	if m.ReadHostMem(0x8000)&1 != 1 {
+		t.Error("host memory missing acquired result")
+	}
+	if !m.Barrier().Query(0x8000) {
+		t.Error("barrier not marked for acquired address")
+	}
+	if m.Barrier().Query(0x8000 + 10*8) {
+		t.Error("barrier marked beyond the acquired range")
+	}
+	if m.Elapsed() <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if m.Executed != 5 {
+		t.Errorf("Executed = %d, want 5", m.Executed)
+	}
+}
+
+// The headline semantic property: updating one register flips the very
+// next run's measurement statistics, with no recompilation in between.
+func TestQUpdateChangesPhysics(t *testing.T) {
+	m, words := ryMachine(t)
+	cfg := qcc.DefaultConfig(2)
+	rs2, _ := rocc.PackTransfer(0, uint32(words))
+	setRegs(m, map[int]uint64{1: 0x1000, 2: rs2})
+	exec(t, m, "q_set x1, x2")
+
+	ones := func(angle float64) int {
+		setRegs(m, map[int]uint64{
+			3: uint64(cfg.RegfileBase()),
+			4: uint64(qcc.QuantizeAngle(angle)),
+			6: 400,
+		})
+		exec(t, m, "q_update x3, x4")
+		exec(t, m, "q_gen x5")
+		exec(t, m, "q_run x9, x6")
+		win, err := m.MeasureWindow(400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, w := range win {
+			n += int(w & 1)
+		}
+		return n
+	}
+	if n := ones(0); n != 0 {
+		t.Errorf("RY(0): %d ones, want 0", n)
+	}
+	if n := ones(math.Pi); n != 400 {
+		t.Errorf("RY(π): %d ones, want 400", n)
+	}
+	mid := ones(math.Pi / 2)
+	if mid < 140 || mid > 260 {
+		t.Errorf("RY(π/2): %d ones of 400, want ≈200", mid)
+	}
+}
+
+func TestExecAllAssembledProgram(t *testing.T) {
+	m, words := ryMachine(t)
+	cfg := qcc.DefaultConfig(2)
+	rs2, _ := rocc.PackTransfer(0, uint32(words))
+	setRegs(m, map[int]uint64{
+		1: 0x1000, 2: rs2,
+		3: uint64(cfg.RegfileBase()), 4: uint64(qcc.QuantizeAngle(math.Pi)),
+		6: 50,
+	})
+	prog := `
+q_set x1, x2
+q_update x3, x4
+q_gen x5
+q_run x9, x6
+`
+	bin, err := isa.AssembleAll(strings.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ExecAll(bin); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[9] != 50 {
+		t.Errorf("token = %d", m.Regs[9])
+	}
+}
+
+func TestGuards(t *testing.T) {
+	m, err := NewMachine(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q_gen / q_run / q_set before staging a program.
+	if err := m.Exec(rocc.QGen(5)); err == nil {
+		t.Error("q_gen before q_set accepted")
+	}
+	if err := m.Exec(rocc.QRun(6, 9)); err == nil {
+		t.Error("q_run before q_set accepted")
+	}
+	m.Regs[2], _ = rocc.PackTransfer(0, 2)
+	if err := m.Exec(rocc.QSet(1, 2)); err == nil {
+		t.Error("q_set before LoadProgram accepted")
+	}
+	// q_update must target .regfile.
+	m2, words := ryMachine(t)
+	rs2, _ := rocc.PackTransfer(0, uint32(words))
+	setRegs(m2, map[int]uint64{1: 0x1000, 2: rs2})
+	exec(t, m2, "q_set x1, x2")
+	m2.Regs[3] = 0 // .program address, not .regfile
+	m2.Regs[4] = 1
+	if err := m2.Exec(rocc.QUpdate(3, 4)); err == nil {
+		t.Error("q_update into .program accepted")
+	}
+	// q_acquire must read .measure.
+	ac, _ := rocc.PackTransfer(0, 4) // .program address
+	m2.Regs[7], m2.Regs[8] = 0x8000, ac
+	if err := m2.Exec(rocc.QAcquire(7, 8)); err == nil {
+		t.Error("q_acquire from .program accepted")
+	}
+	// Zero-length transfers.
+	z, _ := rocc.PackTransfer(0, 0)
+	m2.Regs[8] = z
+	if err := m2.Exec(rocc.QAcquire(7, 8)); err == nil {
+		t.Error("zero-length q_acquire accepted")
+	}
+	// Zero shots.
+	m2.Regs[6] = 0
+	if err := m2.Exec(rocc.QRun(6, 9)); err == nil {
+		t.Error("zero-shot q_run accepted")
+	}
+}
+
+func TestX0HardwiredZero(t *testing.T) {
+	m, _ := ryMachine(t)
+	m.Regs[0] = 42
+	// Any Exec resets x0; use a failing op so no other state changes.
+	m.Exec(rocc.QGen(5)) // errors (no q_set yet) but normalizes x0 first
+	if m.Regs[0] != 0 {
+		t.Errorf("x0 = %d, want 0", m.Regs[0])
+	}
+}
+
+func TestElapsedAccumulatesQuantumTime(t *testing.T) {
+	m, words := ryMachine(t)
+	rs2, _ := rocc.PackTransfer(0, uint32(words))
+	setRegs(m, map[int]uint64{1: 0x1000, 2: rs2, 6: 100})
+	exec(t, m, "q_set x1, x2")
+	exec(t, m, "q_gen x5")
+	before := m.Elapsed()
+	exec(t, m, "q_run x9, x6")
+	// 100 shots × (RY 20ns + measure 600ns) = 62 µs of chip time.
+	delta := m.Elapsed() - before
+	if delta != 100*620*sim.Nanosecond {
+		t.Errorf("q_run elapsed = %v, want 62µs", delta)
+	}
+}
+
+func TestHostMemAlignment(t *testing.T) {
+	m, _ := ryMachine(t)
+	m.WriteHostMem(0x1003, 99) // misaligned writes normalize to 8 bytes
+	if m.ReadHostMem(0x1000) != 99 {
+		t.Error("host memory not word-normalized")
+	}
+}

@@ -1,0 +1,59 @@
+package controller
+
+import (
+	"testing"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qcc"
+	"qtenon/internal/rocc"
+)
+
+// q_gen with a packed (QAddress, length) range processes only the
+// entries inside it; range zero means the whole program.
+func TestQGenRange(t *testing.T) {
+	m, err := NewMachine(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two qubits, two distinct fixed gates each.
+	c := circuit.NewBuilder(2).
+		RX(0, 0.1).RX(0, 0.2).RX(1, 0.3).RX(1, 0.4).MeasureAll().
+		MustBuild()
+	words, err := m.LoadProgram(c, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, _ := rocc.PackTransfer(0, uint32(words))
+	setRegs(m, map[int]uint64{1: 0x1000, 2: rs2})
+	exec(t, m, "q_set x1, x2")
+
+	// Range covering only qubit 0's chunk.
+	cfg := qcc.DefaultConfig(2)
+	q0range, _ := rocc.PackTransfer(uint64(cfg.ProgramBase(0)), uint32(cfg.ProgramEntries))
+	m.Regs[5] = q0range
+	exec(t, m, "q_gen x5")
+
+	// Qubit 0's drive entries are valid; qubit 1's remain invalid.
+	for i := 0; i < 2; i++ {
+		e, _ := m.Cache().ReadProgram(0, i, qcc.HostAccess)
+		if e.Status != qcc.StatusValid {
+			t.Errorf("q0[%d] status = %d after ranged q_gen", i, e.Status)
+		}
+		e, _ = m.Cache().ReadProgram(1, i, qcc.HostAccess)
+		if e.Status != qcc.StatusInvalid {
+			t.Errorf("q1[%d] status = %d; ranged q_gen leaked", i, e.Status)
+		}
+	}
+
+	// Zero range: process everything.
+	m.Regs[5] = 0
+	exec(t, m, "q_gen x5")
+	for q := 0; q < 2; q++ {
+		for i := 0; i < 2; i++ {
+			e, _ := m.Cache().ReadProgram(q, i, qcc.HostAccess)
+			if e.Status != qcc.StatusValid {
+				t.Errorf("q%d[%d] status = %d after full q_gen", q, i, e.Status)
+			}
+		}
+	}
+}

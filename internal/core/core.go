@@ -1,0 +1,182 @@
+// Package core is the front door to the paper's primary contribution:
+// running a hybrid quantum-classical workload on the tightly coupled
+// Qtenon architecture, on the decoupled baseline, or on both for a
+// direct comparison — one call, fully configured with the paper's
+// defaults.
+//
+// The underlying machinery lives in internal/system (Qtenon),
+// internal/baseline (the decoupled comparator), internal/vqa
+// (workloads), and internal/opt (optimizers); this package wires them
+// together the way the evaluation section does, so downstream code and
+// the examples do not repeat that plumbing.
+package core
+
+import (
+	"fmt"
+
+	"qtenon/internal/baseline"
+	"qtenon/internal/host"
+	"qtenon/internal/opt"
+	"qtenon/internal/report"
+	"qtenon/internal/system"
+	"qtenon/internal/vqa"
+)
+
+// Optimizer selects the classical optimization algorithm.
+type Optimizer uint8
+
+// Supported optimizers. GD and SPSA are the paper's pair; Adam is the
+// repository's extension with a GD-shaped evaluation pattern.
+const (
+	GD Optimizer = iota
+	SPSA
+	Adam
+)
+
+var optimizerNames = [...]string{"GD", "SPSA", "Adam"}
+
+// String names the optimizer.
+func (o Optimizer) String() string {
+	if int(o) < len(optimizerNames) {
+		return optimizerNames[o]
+	}
+	return fmt.Sprintf("optimizer(%d)", uint8(o))
+}
+
+// Spec describes one experiment.
+type Spec struct {
+	Workload   vqa.Kind
+	Qubits     int
+	Optimizer  Optimizer
+	Iterations int // 0 → paper default (10)
+	Shots      int // 0 → paper default (500)
+	// Qtenon / Baseline override the default machine configurations when
+	// non-nil (noise, coupling maps, sync-mode ablations, cores…).
+	Qtenon   *system.Config
+	Baseline *baseline.Config
+}
+
+func (s Spec) normalize() (Spec, opt.Options, error) {
+	if s.Qubits < 2 {
+		return s, opt.Options{}, fmt.Errorf("core: need ≥2 qubits, have %d", s.Qubits)
+	}
+	if s.Optimizer > Adam {
+		return s, opt.Options{}, fmt.Errorf("core: unknown optimizer %d", s.Optimizer)
+	}
+	o := opt.DefaultOptions()
+	if s.Iterations > 0 {
+		o.Iterations = s.Iterations
+	}
+	if s.Shots == 0 {
+		s.Shots = 500
+	}
+	return s, o, nil
+}
+
+func (s Spec) optimize(eval opt.Evaluator, initial []float64, o opt.Options) (opt.Result, error) {
+	switch s.Optimizer {
+	case SPSA:
+		return opt.SPSA(eval, initial, o)
+	case Adam:
+		return opt.Adam(eval, initial, o)
+	default:
+		return opt.GradientDescent(eval, initial, o)
+	}
+}
+
+// RunQtenon executes the spec on the Qtenon system.
+func RunQtenon(spec Spec) (report.RunResult, error) {
+	spec, o, err := spec.normalize()
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	w, err := vqa.New(spec.Workload, spec.Qubits)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	cfg := system.DefaultConfig(host.BoomL())
+	if spec.Qtenon != nil {
+		cfg = *spec.Qtenon
+	}
+	cfg.Shots = spec.Shots
+	sys, err := system.New(cfg, w)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	res, err := spec.optimize(sys.Evaluate, w.InitialParams, o)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	return report.RunResult{
+		Breakdown:        sys.Breakdown(),
+		Comm:             sys.Comm(),
+		History:          res.History,
+		Evaluations:      res.Evaluations,
+		InstructionCount: sys.Instructions(),
+		HostActivity:     sys.HostActivity(),
+		CommActivity:     sys.CommActivity(),
+		PulsesGenerated:  sys.PulsesGenerated(),
+		SLTHitRate:       sys.SLTStats().HitRate(),
+	}, nil
+}
+
+// RunBaseline executes the spec on the decoupled baseline.
+func RunBaseline(spec Spec) (report.RunResult, error) {
+	spec, o, err := spec.normalize()
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	w, err := vqa.New(spec.Workload, spec.Qubits)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	cfg := baseline.DefaultConfig()
+	if spec.Baseline != nil {
+		cfg = *spec.Baseline
+	}
+	cfg.Shots = spec.Shots
+	sys, err := baseline.New(cfg, w)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	res, err := spec.optimize(sys.Evaluate, w.InitialParams, o)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	return report.RunResult{
+		Breakdown:   sys.Breakdown(),
+		History:     res.History,
+		Evaluations: res.Evaluations,
+	}, nil
+}
+
+// Comparison pairs the two runs of one spec.
+type Comparison struct {
+	Qtenon   report.RunResult
+	Baseline report.RunResult
+}
+
+// EndToEndSpeedup is baseline total / Qtenon total.
+func (c Comparison) EndToEndSpeedup() float64 {
+	return report.Speedup(c.Baseline.Breakdown.Total(), c.Qtenon.Breakdown.Total())
+}
+
+// ClassicalSpeedup is baseline classical / Qtenon classical.
+func (c Comparison) ClassicalSpeedup() float64 {
+	return report.Speedup(c.Baseline.Breakdown.Classical(), c.Qtenon.Breakdown.Classical())
+}
+
+// Compare runs the spec on both architectures. Both machines share the
+// seed, so the cost trajectories are identical and every difference in
+// the result is architectural.
+func Compare(spec Spec) (Comparison, error) {
+	q, err := RunQtenon(spec)
+	if err != nil {
+		return Comparison{}, err
+	}
+	b, err := RunBaseline(spec)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Qtenon: q, Baseline: b}, nil
+}

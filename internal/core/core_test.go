@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"qtenon/internal/host"
+	"qtenon/internal/quantum"
+	"qtenon/internal/system"
+	"qtenon/internal/vqa"
+)
+
+func TestCompareHeadline(t *testing.T) {
+	c, err := Compare(Spec{
+		Workload:   vqa.QAOA,
+		Qubits:     8,
+		Optimizer:  SPSA,
+		Iterations: 3,
+		Shots:      150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EndToEndSpeedup() <= 1 {
+		t.Errorf("end-to-end speedup = %v", c.EndToEndSpeedup())
+	}
+	if c.ClassicalSpeedup() <= 10 {
+		t.Errorf("classical speedup = %v", c.ClassicalSpeedup())
+	}
+	// Shared seed → identical physics.
+	for i := range c.Qtenon.History {
+		if c.Qtenon.History[i] != c.Baseline.History[i] {
+			t.Fatalf("histories diverge at %d", i)
+		}
+	}
+	if c.Qtenon.Breakdown.Quantum != c.Baseline.Breakdown.Quantum {
+		t.Error("quantum time differs between architectures")
+	}
+}
+
+func TestAllOptimizersRun(t *testing.T) {
+	for _, o := range []Optimizer{GD, SPSA, Adam} {
+		res, err := RunQtenon(Spec{
+			Workload: vqa.QNN, Qubits: 6, Optimizer: o, Iterations: 2, Shots: 80,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", o, err)
+		}
+		if len(res.History) != 2 {
+			t.Errorf("%v: history = %d", o, len(res.History))
+		}
+		if res.Evaluations == 0 || res.InstructionCount == 0 {
+			t.Errorf("%v: empty accounting %+v", o, res)
+		}
+	}
+	if GD.String() != "GD" || SPSA.String() != "SPSA" || Adam.String() != "Adam" {
+		t.Error("optimizer names wrong")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := RunQtenon(Spec{Workload: vqa.QAOA, Qubits: 1}); err == nil {
+		t.Error("accepted 1 qubit")
+	}
+	if _, err := RunBaseline(Spec{Workload: vqa.QAOA, Qubits: 4, Optimizer: 99}); err == nil {
+		t.Error("accepted unknown optimizer")
+	}
+}
+
+func TestSpecOverrides(t *testing.T) {
+	cfg := system.DefaultConfig(host.Rocket())
+	cfg.Noise = quantum.Noise{Readout: 0.3}
+	noisy, err := RunQtenon(Spec{
+		Workload: vqa.QAOA, Qubits: 6, Optimizer: SPSA, Iterations: 2, Shots: 200,
+		Qtenon: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunQtenon(Spec{
+		Workload: vqa.QAOA, Qubits: 6, Optimizer: SPSA, Iterations: 2, Shots: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range clean.History {
+		if clean.History[i] != noisy.History[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("noise override had no effect")
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	// Zero Iterations/Shots resolve to the paper's 10 and 500.
+	res, err := RunQtenon(Spec{Workload: vqa.QAOA, Qubits: 4, Optimizer: SPSA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 10 {
+		t.Errorf("default iterations = %d, want 10", len(res.History))
+	}
+}

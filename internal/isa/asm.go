@@ -1,0 +1,120 @@
+// Package isa provides the software face of the Qtenon ISA: a textual
+// assembler/disassembler for the five custom-0 instructions (the role the
+// paper's modified RISC-V GNU toolchain plays, §7.1), plus instruction-
+// count models for Qtenon and for the decoupled quantum-dedicated ISAs it
+// is compared against in Table 1 (eQASM, HiSEP-Q).
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"qtenon/internal/rocc"
+)
+
+// Assemble parses one instruction line, e.g.:
+//
+//	q_update x3, x7
+//	q_set x1, x2
+//	q_gen x6
+//	q_run x9, x8      ; rd, rs1
+//
+// Comments start with '#' or ';'.
+func Assemble(line string) (rocc.Instruction, error) {
+	if i := strings.IndexAny(line, "#;"); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.FieldsFunc(strings.TrimSpace(line), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	if len(fields) == 0 {
+		return rocc.Instruction{}, fmt.Errorf("isa: empty instruction")
+	}
+	funct, ok := rocc.FunctByName(fields[0])
+	if !ok {
+		return rocc.Instruction{}, fmt.Errorf("isa: unknown mnemonic %q", fields[0])
+	}
+	regs := make([]uint8, 0, 2)
+	for _, f := range fields[1:] {
+		r, err := parseReg(f)
+		if err != nil {
+			return rocc.Instruction{}, err
+		}
+		regs = append(regs, r)
+	}
+	switch funct {
+	case rocc.FnQUpdate, rocc.FnQSet, rocc.FnQAcquire:
+		if len(regs) != 2 {
+			return rocc.Instruction{}, fmt.Errorf("isa: %s needs 2 registers, got %d", funct, len(regs))
+		}
+		switch funct {
+		case rocc.FnQUpdate:
+			return rocc.QUpdate(regs[0], regs[1]), nil
+		case rocc.FnQSet:
+			return rocc.QSet(regs[0], regs[1]), nil
+		default:
+			return rocc.QAcquire(regs[0], regs[1]), nil
+		}
+	case rocc.FnQGen:
+		if len(regs) != 1 {
+			return rocc.Instruction{}, fmt.Errorf("isa: q_gen needs 1 register, got %d", len(regs))
+		}
+		return rocc.QGen(regs[0]), nil
+	case rocc.FnQRun:
+		if len(regs) != 2 {
+			return rocc.Instruction{}, fmt.Errorf("isa: q_run needs rd, rs1")
+		}
+		return rocc.QRun(regs[1], regs[0]), nil
+	}
+	return rocc.Instruction{}, fmt.Errorf("isa: unhandled funct %v", funct)
+}
+
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "x") {
+		return 0, fmt.Errorf("isa: malformed register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("isa: register %q out of range", s)
+	}
+	return uint8(n), nil
+}
+
+// AssembleAll assembles a program, one instruction per non-empty line.
+func AssembleAll(r io.Reader) ([]uint32, error) {
+	sc := bufio.NewScanner(r)
+	var out []uint32
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		in, err := Assemble(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		w, err := in.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		out = append(out, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Disassemble renders an encoded instruction word as assembly text.
+func Disassemble(w uint32) (string, error) {
+	in, err := rocc.Decode(w)
+	if err != nil {
+		return "", err
+	}
+	return in.String(), nil
+}

@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"qtenon/internal/rocc"
+)
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	lines := []string{
+		"q_update x3, x7",
+		"q_set x1, x2",
+		"q_acquire x4, x5",
+		"q_gen x6",
+		"q_run x9, x8",
+	}
+	for _, line := range lines {
+		in, err := Assemble(line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Disassemble(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != line {
+			t.Errorf("round trip %q → %q", line, back)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	in, err := Assemble("q_gen x5 # generate pulses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Funct != rocc.FnQGen || in.RS2 != 5 {
+		t.Errorf("parsed = %+v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"# just a comment",
+		"q_frobnicate x1, x2",
+		"q_update x1",      // arity
+		"q_gen x1, x2",     // arity
+		"q_update x1, x99", // register range
+		"q_update r1, r2",  // register syntax
+		"q_run x1",         // arity
+	}
+	for _, line := range bad {
+		if _, err := Assemble(line); err == nil {
+			t.Errorf("Assemble(%q) succeeded", line)
+		}
+	}
+}
+
+func TestAssembleAll(t *testing.T) {
+	src := `
+# upload program then iterate
+q_set x1, x2
+q_update x3, x4
+q_gen x5
+q_run x7, x6
+q_acquire x8, x9
+`
+	words, err := AssembleAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 5 {
+		t.Fatalf("assembled %d instructions, want 5", len(words))
+	}
+	if got, _ := Disassemble(words[0]); got != "q_set x1, x2" {
+		t.Errorf("first = %q", got)
+	}
+	if _, err := AssembleAll(strings.NewReader("q_bad x1")); err == nil {
+		t.Error("AssembleAll accepted bad program")
+	}
+}
+
+func TestDisassembleRejects(t *testing.T) {
+	if _, err := Disassemble(0x33); err == nil {
+		t.Error("Disassemble accepted non-custom-0 word")
+	}
+}
+
+// Table 1's headline: 64-qubit QAOA, 5 layers, 10 iterations, GD. Qtenon
+// needs a few hundred instructions; the quantum-dedicated ISAs need
+// ~3×10⁴ because they re-ship the whole statically-indexed program every
+// iteration.
+func TestTable1InstructionCounts(t *testing.T) {
+	// 64-qubit 3-regular-ish graph: 96 edges × 5 layers RZZ + 64×5 RX +
+	// 64 H = 864 gates, 480 two-qubit, 64 measures, 10 params.
+	w := WorkloadShape{Gates: 864, TwoQubit: 480, Measures: 64, Params: 10, Iterations: 10}
+	qtenon := QtenonCount(w, w.Params)
+	if qtenon < 100 || qtenon > 500 {
+		t.Errorf("Qtenon count = %d, want O(10²) (paper: ~285)", qtenon)
+	}
+	eqasm := EQASMCount(w)
+	if eqasm < 20000 || eqasm > 50000 {
+		t.Errorf("eQASM count = %d, want ~3×10⁴", eqasm)
+	}
+	hisep := HiSEPQCount(w)
+	if hisep < 8000 || hisep > 40000 {
+		t.Errorf("HiSEP-Q count = %d, want O(10⁴)", hisep)
+	}
+	if !(qtenon < hisep && hisep <= eqasm) {
+		t.Errorf("ordering broken: qtenon=%d hisep=%d eqasm=%d", qtenon, hisep, eqasm)
+	}
+	ratio := float64(eqasm) / float64(qtenon)
+	if ratio < 50 {
+		t.Errorf("Qtenon advantage only %.0f×, want ≫50×", ratio)
+	}
+}
+
+func TestQtenonCountIndependentOfGates(t *testing.T) {
+	small := WorkloadShape{Gates: 100, Params: 10, Iterations: 10}
+	big := WorkloadShape{Gates: 100000, Params: 10, Iterations: 10}
+	if QtenonCount(small, 10) != QtenonCount(big, 10) {
+		t.Error("Qtenon count depends on gate count; quantum locality broken")
+	}
+	if EQASMCount(small) >= EQASMCount(big) {
+		t.Error("eQASM count not growing with gates")
+	}
+}

@@ -1,0 +1,248 @@
+// Package mapper implements qubit mapping and routing: transforming a
+// circuit that assumes all-to-all connectivity into one whose two-qubit
+// gates all act on neighbouring physical qubits of a coupling map, by
+// inserting SWAP gates. This is the "transpile the quantum circuit based
+// on the quantum hardware" step of the baseline flow (§2.2) and of any
+// real superconducting stack — the paper's devices couple only adjacent
+// transmons.
+//
+// The router is a greedy nearest-path algorithm: gates are processed in
+// order; when a two-qubit gate spans non-adjacent physical qubits, SWAPs
+// move one operand along a shortest path until they meet. It favours
+// simplicity and determinism over optimality, which suits a reproduction
+// whose evaluation depends on gate counts, not routing research.
+package mapper
+
+import (
+	"fmt"
+
+	"qtenon/internal/circuit"
+)
+
+// Coupling is an undirected connectivity graph over physical qubits.
+type Coupling struct {
+	n   int
+	adj [][]int
+}
+
+// NewCoupling builds a coupling map from an edge list.
+func NewCoupling(n int, edges [][2]int) (*Coupling, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mapper: non-positive qubit count %d", n)
+	}
+	c := &Coupling{n: n, adj: make([][]int, n)}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n || a == b {
+			return nil, fmt.Errorf("mapper: invalid edge %v", e)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		c.adj[a] = append(c.adj[a], b)
+		c.adj[b] = append(c.adj[b], a)
+	}
+	return c, nil
+}
+
+// Line returns a 1-D chain coupling map (the classic transmon ladder).
+func Line(n int) *Coupling {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	c, err := NewCoupling(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Grid returns a rows×cols lattice coupling map.
+func Grid(rows, cols int) *Coupling {
+	var edges [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	cm, err := NewCoupling(rows*cols, edges)
+	if err != nil {
+		panic(err)
+	}
+	return cm
+}
+
+// NQubits reports the physical qubit count.
+func (c *Coupling) NQubits() int { return c.n }
+
+// Adjacent reports whether two physical qubits are coupled.
+func (c *Coupling) Adjacent(a, b int) bool {
+	for _, x := range c.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Path returns a shortest path between two physical qubits (inclusive),
+// or nil if disconnected. BFS; deterministic given adjacency order.
+func (c *Coupling) Path(from, to int) []int {
+	if from == to {
+		return []int{from}
+	}
+	prev := make([]int, c.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[from] = from
+	queue := []int{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range c.adj[cur] {
+			if prev[nb] != -1 {
+				continue
+			}
+			prev[nb] = cur
+			if nb == to {
+				var path []int
+				for x := to; x != from; x = prev[x] {
+					path = append(path, x)
+				}
+				path = append(path, from)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// Result is a routed circuit plus the layout bookkeeping needed to
+// interpret its measurements.
+type Result struct {
+	Circuit *circuit.Circuit
+	// Layout maps logical qubit → physical qubit at circuit END (SWAPs
+	// permute it; measurement of logical q reads physical Layout[q]).
+	Layout []int
+	// SwapsInserted counts routing overhead.
+	SwapsInserted int
+}
+
+// Route maps a logical circuit onto the coupling map with the trivial
+// initial layout (logical i on physical i) and greedy SWAP insertion.
+// SWAP gates are decomposed into three CX gates, the native realization.
+func Route(c *circuit.Circuit, cm *Coupling) (*Result, error) {
+	if c.NQubits > cm.NQubits() {
+		return nil, fmt.Errorf("mapper: circuit needs %d qubits, device has %d", c.NQubits, cm.NQubits())
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := circuit.New(cm.NQubits())
+	out.NumParams = c.NumParams
+	layout := make([]int, c.NQubits) // logical → physical
+	for i := range layout {
+		layout[i] = i
+	}
+	phys2log := make([]int, cm.NQubits()) // physical → logical (-1 free)
+	for i := range phys2log {
+		phys2log[i] = -1
+	}
+	for l, p := range layout {
+		phys2log[p] = l
+	}
+	res := &Result{}
+
+	swap := func(a, b int) {
+		// SWAP(a,b) = CX(a,b)·CX(b,a)·CX(a,b) on physical qubits.
+		out.Gates = append(out.Gates,
+			circuit.Gate{Kind: circuit.CX, Qubit: a, Qubit2: b, Param: circuit.NoParam},
+			circuit.Gate{Kind: circuit.CX, Qubit: b, Qubit2: a, Param: circuit.NoParam},
+			circuit.Gate{Kind: circuit.CX, Qubit: a, Qubit2: b, Param: circuit.NoParam},
+		)
+		la, lb := phys2log[a], phys2log[b]
+		phys2log[a], phys2log[b] = lb, la
+		if la >= 0 {
+			layout[la] = b
+		}
+		if lb >= 0 {
+			layout[lb] = a
+		}
+		res.SwapsInserted++
+	}
+
+	for _, g := range c.Gates {
+		ng := g
+		ng.Qubit = layout[g.Qubit]
+		if g.Kind.Arity() == 2 {
+			ng.Qubit2 = layout[g.Qubit2]
+			if !cm.Adjacent(ng.Qubit, ng.Qubit2) {
+				path := cm.Path(ng.Qubit, ng.Qubit2)
+				if path == nil {
+					return nil, fmt.Errorf("mapper: qubits %d and %d disconnected", ng.Qubit, ng.Qubit2)
+				}
+				// Walk the first operand toward the second, stopping one
+				// hop short.
+				for i := 0; i+2 < len(path); i++ {
+					swap(path[i], path[i+1])
+				}
+				ng.Qubit = layout[g.Qubit]
+				ng.Qubit2 = layout[g.Qubit2]
+				if !cm.Adjacent(ng.Qubit, ng.Qubit2) {
+					return nil, fmt.Errorf("mapper: internal error: %d-%d still distant after routing", ng.Qubit, ng.Qubit2)
+				}
+			}
+		}
+		out.Gates = append(out.Gates, ng)
+	}
+	res.Circuit = out
+	res.Layout = layout
+	return res, nil
+}
+
+// RemapOutcomes converts measurement words from physical to logical bit
+// order: logical qubit q's bit is read from physical position layout[q].
+// Only the first 64 physical positions are representable in a packed
+// word, matching the measurement-word convention elsewhere.
+func RemapOutcomes(outcomes []uint64, layout []int) []uint64 {
+	out := make([]uint64, len(outcomes))
+	for i, o := range outcomes {
+		var v uint64
+		for q, p := range layout {
+			if q >= 64 || p >= 64 {
+				continue
+			}
+			v |= (o >> p & 1) << q
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Validate checks that every two-qubit gate of a circuit respects the
+// coupling map (the post-condition of Route).
+func Validate(c *circuit.Circuit, cm *Coupling) error {
+	for i, g := range c.Gates {
+		if g.Kind.Arity() == 2 && !cm.Adjacent(g.Qubit, g.Qubit2) {
+			return fmt.Errorf("mapper: gate %d (%v) spans non-adjacent qubits", i, g)
+		}
+	}
+	return nil
+}

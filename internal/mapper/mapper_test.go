@@ -1,0 +1,198 @@
+package mapper
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qsim"
+)
+
+func TestCouplingConstruction(t *testing.T) {
+	if _, err := NewCoupling(0, nil); err == nil {
+		t.Error("accepted zero qubits")
+	}
+	if _, err := NewCoupling(2, [][2]int{{0, 5}}); err == nil {
+		t.Error("accepted out-of-range edge")
+	}
+	if _, err := NewCoupling(2, [][2]int{{1, 1}}); err == nil {
+		t.Error("accepted self-loop")
+	}
+	// Duplicate edges are deduplicated.
+	c, err := NewCoupling(2, [][2]int{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.adj[0]) != 1 {
+		t.Errorf("duplicate edge not deduped: %v", c.adj[0])
+	}
+}
+
+func TestLineAndGrid(t *testing.T) {
+	l := Line(4)
+	if !l.Adjacent(0, 1) || !l.Adjacent(2, 3) || l.Adjacent(0, 2) {
+		t.Error("line adjacency wrong")
+	}
+	g := Grid(2, 3)
+	if g.NQubits() != 6 {
+		t.Fatalf("grid qubits = %d", g.NQubits())
+	}
+	if !g.Adjacent(0, 1) || !g.Adjacent(0, 3) || g.Adjacent(0, 4) {
+		t.Error("grid adjacency wrong")
+	}
+}
+
+func TestPath(t *testing.T) {
+	l := Line(5)
+	p := l.Path(0, 4)
+	if len(p) != 5 {
+		t.Fatalf("path = %v", p)
+	}
+	for i, q := range []int{0, 1, 2, 3, 4} {
+		if p[i] != q {
+			t.Fatalf("path = %v", p)
+		}
+	}
+	if got := l.Path(2, 2); len(got) != 1 || got[0] != 2 {
+		t.Errorf("self path = %v", got)
+	}
+	// Disconnected graph.
+	c, _ := NewCoupling(4, [][2]int{{0, 1}, {2, 3}})
+	if c.Path(0, 3) != nil {
+		t.Error("found path in disconnected graph")
+	}
+}
+
+func TestRouteAdjacentGatesUntouched(t *testing.T) {
+	c := circuit.NewBuilder(3).H(0).CX(0, 1).CZ(1, 2).MustBuild()
+	res, err := Route(c, Line(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 0 {
+		t.Errorf("swaps = %d for already-routed circuit", res.SwapsInserted)
+	}
+	if len(res.Circuit.Gates) != 3 {
+		t.Errorf("gates = %d", len(res.Circuit.Gates))
+	}
+}
+
+func TestRouteInsertsSwaps(t *testing.T) {
+	// CX(0,3) on a 4-qubit line needs 2 swaps (6 CX) + the gate.
+	c := circuit.NewBuilder(4).CX(0, 3).MustBuild()
+	res, err := Route(c, Line(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 2 {
+		t.Errorf("swaps = %d, want 2", res.SwapsInserted)
+	}
+	if err := Validate(res.Circuit, Line(4)); err != nil {
+		t.Errorf("routed circuit invalid: %v", err)
+	}
+	// Logical 0 moved: layout must reflect it.
+	if res.Layout[0] == 0 {
+		t.Error("layout unchanged despite swaps")
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	tooWide := circuit.NewBuilder(5).H(0).MustBuild()
+	if _, err := Route(tooWide, Line(3)); err == nil {
+		t.Error("accepted circuit wider than device")
+	}
+	disc, _ := NewCoupling(4, [][2]int{{0, 1}, {2, 3}})
+	c := circuit.NewBuilder(4).CX(0, 3).MustBuild()
+	if _, err := Route(c, disc); err == nil {
+		t.Error("routed across disconnected components")
+	}
+}
+
+// The semantic core: routing preserves the circuit's output distribution
+// once measurement is read through the final layout.
+func TestRouteSemanticEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(3)
+		b := circuit.NewBuilder(n)
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				b.RY(rng.Intn(n), rng.NormFloat64())
+			case 1:
+				b.H(rng.Intn(n))
+			case 2:
+				q := rng.Intn(n)
+				b.CX(q, (q+1+rng.Intn(n-1))%n)
+			case 3:
+				q := rng.Intn(n)
+				b.RZZ(q, (q+1+rng.Intn(n-1))%n, rng.NormFloat64())
+			}
+		}
+		logical := b.MustBuild()
+		cm := Line(n)
+		res, err := Route(logical, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(res.Circuit, cm); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Compare ⟨Z⟩ of every logical qubit: on the routed circuit it
+		// lives at physical Layout[q].
+		orig, err := qsim.Run(logical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routed, err := qsim.Run(res.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < n; q++ {
+			want := orig.ExpectationZ(q)
+			got := routed.ExpectationZ(res.Layout[q])
+			if math.Abs(want-got) > 1e-9 {
+				t.Fatalf("trial %d: logical q%d ⟨Z⟩ = %v routed %v (layout %v)",
+					trial, q, want, got, res.Layout)
+			}
+		}
+	}
+}
+
+// Routed ZZ correlations also survive (two-qubit observables, catching
+// layout-permutation bugs single-qubit checks miss).
+func TestRouteZZEquivalence(t *testing.T) {
+	c := circuit.NewBuilder(4).H(0).CX(0, 3).RY(1, 0.8).CX(1, 3).MustBuild()
+	res, err := Route(c, Line(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := qsim.Run(c)
+	routed, _ := qsim.Run(res.Circuit)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			want := orig.ExpectationZZ(a, b)
+			got := routed.ExpectationZZ(res.Layout[a], res.Layout[b])
+			if math.Abs(want-got) > 1e-9 {
+				t.Errorf("ZZ(%d,%d): %v vs %v", a, b, want, got)
+			}
+		}
+	}
+}
+
+// Routing on a grid needs fewer swaps than on a line for cross gates.
+func TestGridBeatsLine(t *testing.T) {
+	c := circuit.NewBuilder(6).CX(0, 5).CX(1, 4).MustBuild()
+	lineRes, err := Route(c, Line(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridRes, err := Route(c, Grid(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridRes.SwapsInserted >= lineRes.SwapsInserted {
+		t.Errorf("grid swaps %d not below line swaps %d", gridRes.SwapsInserted, lineRes.SwapsInserted)
+	}
+}

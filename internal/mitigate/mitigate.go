@@ -1,0 +1,141 @@
+// Package mitigate implements readout-error mitigation under the
+// tensor-product confusion model: calibrate each qubit's measurement
+// confusion matrix from |0⟩ and |1⟩ preparation circuits, then unfold
+// measured expectation values through the inverse.
+//
+// This is the measurement-error-mitigation step NISQ pipelines apply to
+// VQA results (the paper cites VarSaw, ASPLOS'23, for exactly this), and
+// it is classical post-processing — i.e., more of the host computation
+// that Qtenon's overlap scheduling hides.
+package mitigate
+
+import (
+	"fmt"
+	"math"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/quantum"
+)
+
+// Confusion is one qubit's 2×2 readout confusion matrix:
+// P[i][j] = Pr(measure i | prepared j).
+type Confusion [2][2]float64
+
+// Valid reports whether columns are probability distributions and the
+// matrix is invertible.
+func (c Confusion) Valid() bool {
+	for j := 0; j < 2; j++ {
+		if math.Abs(c[0][j]+c[1][j]-1) > 1e-9 || c[0][j] < 0 || c[1][j] < 0 {
+			return false
+		}
+	}
+	return math.Abs(c.det()) > 1e-6
+}
+
+func (c Confusion) det() float64 { return c[0][0]*c[1][1] - c[0][1]*c[1][0] }
+
+// Fidelity is the average assignment fidelity (P(0|0)+P(1|1))/2.
+func (c Confusion) Fidelity() float64 { return (c[0][0] + c[1][1]) / 2 }
+
+// MitigateZ unfolds a measured single-qubit ⟨Z⟩ through the inverse
+// confusion matrix.
+func (c Confusion) MitigateZ(measured float64) float64 {
+	// measured p-vector: p0 = (1+z)/2, p1 = (1−z)/2; true = C⁻¹·p.
+	p0 := (1 + measured) / 2
+	p1 := (1 - measured) / 2
+	d := c.det()
+	t0 := (c[1][1]*p0 - c[0][1]*p1) / d
+	t1 := (-c[1][0]*p0 + c[0][0]*p1) / d
+	return t0 - t1
+}
+
+// Calibration holds per-qubit confusion matrices.
+type Calibration struct {
+	Qubits []Confusion
+}
+
+// Calibrate measures each qubit's confusion matrix by preparing |0…0⟩
+// and |1…1⟩ and counting flips — the two-circuit tensor-product
+// calibration protocol.
+func Calibrate(chip quantum.Executor, shots int) (*Calibration, error) {
+	if shots < 100 {
+		return nil, fmt.Errorf("mitigate: need ≥100 calibration shots, have %d", shots)
+	}
+	n := chip.NQubits()
+	if n > 64 {
+		n = 64 // measurement-word window
+	}
+	cal := &Calibration{Qubits: make([]Confusion, n)}
+
+	// Prepared |0…0⟩: count P(1|0) per qubit.
+	zero := circuit.NewBuilder(chip.NQubits()).MeasureAll().MustBuild()
+	ex0, err := chip.Execute(zero, shots)
+	if err != nil {
+		return nil, err
+	}
+	// Prepared |1…1⟩.
+	b := circuit.NewBuilder(chip.NQubits())
+	for q := 0; q < chip.NQubits(); q++ {
+		b.X(q)
+	}
+	b.MeasureAll()
+	ex1, err := chip.Execute(b.MustBuild(), shots)
+	if err != nil {
+		return nil, err
+	}
+	for q := 0; q < n; q++ {
+		p1given0 := bitFraction(ex0.Outcomes, q)
+		p0given1 := 1 - bitFraction(ex1.Outcomes, q)
+		cal.Qubits[q] = Confusion{
+			{1 - p1given0, p0given1},
+			{p1given0, 1 - p0given1},
+		}
+		if !cal.Qubits[q].Valid() {
+			return nil, fmt.Errorf("mitigate: qubit %d confusion matrix singular (readout error ≈ 50%%)", q)
+		}
+	}
+	return cal, nil
+}
+
+// MitigateZ corrects a measured ⟨Z_q⟩.
+func (cal *Calibration) MitigateZ(q int, measured float64) (float64, error) {
+	if q < 0 || q >= len(cal.Qubits) {
+		return 0, fmt.Errorf("mitigate: qubit %d outside calibration", q)
+	}
+	return cal.Qubits[q].MitigateZ(measured), nil
+}
+
+// MitigateZZ corrects a two-qubit parity expectation under the
+// tensor-product model: ⟨Z_a Z_b⟩ unfolds through both inverses, using
+// the identity that under independent symmetricized flips the parity
+// contracts by each qubit's (P(0|0)+P(1|1)−1) factor. For asymmetric
+// confusion the single-qubit Z corrections do not factor exactly, so
+// this uses the contraction-factor approximation, adequate at NISQ error
+// rates.
+func (cal *Calibration) MitigateZZ(a, b int, measured float64) (float64, error) {
+	if a < 0 || a >= len(cal.Qubits) || b < 0 || b >= len(cal.Qubits) {
+		return 0, fmt.Errorf("mitigate: qubit pair (%d,%d) outside calibration", a, b)
+	}
+	fa := cal.Qubits[a][0][0] + cal.Qubits[a][1][1] - 1
+	fb := cal.Qubits[b][0][0] + cal.Qubits[b][1][1] - 1
+	if math.Abs(fa*fb) < 1e-6 {
+		return 0, fmt.Errorf("mitigate: contraction factor vanishes")
+	}
+	return measured / (fa * fb), nil
+}
+
+// ZFromOutcomes computes a raw ⟨Z_q⟩ estimate from measurement words.
+func ZFromOutcomes(outcomes []uint64, q int) float64 {
+	return 1 - 2*bitFraction(outcomes, q)
+}
+
+func bitFraction(outcomes []uint64, q int) float64 {
+	if len(outcomes) == 0 || q >= 64 {
+		return 0
+	}
+	ones := 0
+	for _, o := range outcomes {
+		ones += int(o >> q & 1)
+	}
+	return float64(ones) / float64(len(outcomes))
+}

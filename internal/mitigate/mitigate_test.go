@@ -1,0 +1,161 @@
+package mitigate
+
+import (
+	"math"
+	"testing"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/quantum"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	ideal := Confusion{{1, 0}, {0, 1}}
+	if !ideal.Valid() {
+		t.Error("identity confusion invalid")
+	}
+	if ideal.Fidelity() != 1 {
+		t.Errorf("fidelity = %v", ideal.Fidelity())
+	}
+	if got := ideal.MitigateZ(0.42); math.Abs(got-0.42) > 1e-12 {
+		t.Errorf("identity mitigation changed value: %v", got)
+	}
+	// Non-probability columns and singular matrices rejected.
+	if (Confusion{{0.6, 0.3}, {0.3, 0.7}}).Valid() {
+		t.Error("non-stochastic matrix valid")
+	}
+	if (Confusion{{0.5, 0.5}, {0.5, 0.5}}).Valid() {
+		t.Error("singular matrix valid")
+	}
+}
+
+func TestMitigateZAnalytic(t *testing.T) {
+	// Symmetric 10% flips: measured z = 0.8·true; mitigation inverts.
+	c := Confusion{{0.9, 0.1}, {0.1, 0.9}}
+	for _, truth := range []float64{1, 0.5, 0, -0.7} {
+		measured := 0.8 * truth
+		if got := c.MitigateZ(measured); math.Abs(got-truth) > 1e-9 {
+			t.Errorf("MitigateZ(%v) = %v, want %v", measured, got, truth)
+		}
+	}
+}
+
+func TestCalibrateOnIdealChip(t *testing.T) {
+	chip, _ := quantum.NewChip(3, 5)
+	cal, err := Calibrate(chip, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, c := range cal.Qubits {
+		if c.Fidelity() < 0.999 {
+			t.Errorf("qubit %d ideal fidelity = %v", q, c.Fidelity())
+		}
+	}
+	if _, err := Calibrate(chip, 10); err == nil {
+		t.Error("accepted too few shots")
+	}
+}
+
+func TestCalibrateRecoversErrorRate(t *testing.T) {
+	noise := quantum.Noise{Readout: 0.08}
+	chip, err := quantum.NewNoisyChip(2, 7, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(chip, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, c := range cal.Qubits {
+		// P(1|0) ≈ P(0|1) ≈ 0.08.
+		if math.Abs(c[1][0]-0.08) > 0.01 || math.Abs(c[0][1]-0.08) > 0.01 {
+			t.Errorf("qubit %d confusion = %v, want ≈0.08 flips", q, c)
+		}
+	}
+}
+
+// End to end: noisy measurement of RY(θ) states; mitigation recovers the
+// ideal ⟨Z⟩ = cos θ far better than the raw estimate.
+func TestMitigationRecoversExpectation(t *testing.T) {
+	noise := quantum.Noise{Readout: 0.1}
+	chip, err := quantum.NewNoisyChip(1, 9, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(chip, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0, 0.8, math.Pi / 2, 2.2, math.Pi} {
+		c := circuit.NewBuilder(1).RY(0, theta).Measure(0).MustBuild()
+		ex, err := chip.Execute(c, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := ZFromOutcomes(ex.Outcomes, 0)
+		mitigated, err := cal.MitigateZ(0, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := math.Cos(theta)
+		rawErr := math.Abs(raw - truth)
+		mitErr := math.Abs(mitigated - truth)
+		if mitErr > 0.03 {
+			t.Errorf("θ=%v: mitigated error %v too large (raw %v)", theta, mitErr, rawErr)
+		}
+		// Where the raw error is substantial, mitigation must improve it.
+		if rawErr > 0.05 && mitErr > rawErr {
+			t.Errorf("θ=%v: mitigation worsened error %v → %v", theta, rawErr, mitErr)
+		}
+	}
+}
+
+func TestMitigateZZ(t *testing.T) {
+	noise := quantum.Noise{Readout: 0.07}
+	chip, err := quantum.NewNoisyChip(2, 11, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(chip, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bell state: true ⟨ZZ⟩ = 1.
+	bell := circuit.NewBuilder(2).H(0).CX(0, 1).MeasureAll().MustBuild()
+	ex, err := chip.Execute(bell, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw float64
+	for _, o := range ex.Outcomes {
+		if (o&1)^(o>>1&1) == 0 {
+			raw++
+		} else {
+			raw--
+		}
+	}
+	raw /= float64(len(ex.Outcomes))
+	mit, err := cal.MitigateZZ(0, 1, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(raw-1) < 0.05 {
+		t.Fatalf("raw ⟨ZZ⟩ = %v; noise too weak for the test to discriminate", raw)
+	}
+	if math.Abs(mit-1) > 0.04 {
+		t.Errorf("mitigated ⟨ZZ⟩ = %v, want ≈1 (raw %v)", mit, raw)
+	}
+	if _, err := cal.MitigateZZ(0, 9, raw); err == nil {
+		t.Error("accepted out-of-range qubit")
+	}
+}
+
+func TestMitigateZBounds(t *testing.T) {
+	chip, _ := quantum.NewChip(1, 1)
+	cal, err := Calibrate(chip, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.MitigateZ(5, 0); err == nil {
+		t.Error("accepted out-of-range qubit")
+	}
+}

@@ -1,0 +1,66 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	target := []float64{1.0, -0.7}
+	o := DefaultOptions()
+	o.Iterations = 200
+	o.LearningRate = 0.1
+	o.ShiftScale = 0.5
+	res, err := Adam(quadratic(target), []float64{0, 0}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.History[len(res.History)-1]
+	if final > 1e-3 {
+		t.Errorf("Adam final cost = %v", final)
+	}
+	for i := range target {
+		if math.Abs(res.Params[i]-target[i]) > 0.05 {
+			t.Errorf("param %d = %v, want %v", i, res.Params[i], target[i])
+		}
+	}
+}
+
+func TestAdamOnSinusoid(t *testing.T) {
+	o := DefaultOptions()
+	o.Iterations = 120
+	o.LearningRate = 0.15
+	n := 3
+	res, err := Adam(sinusoidal(n), make([]float64, n), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.History[len(res.History)-1]
+	if final > -float64(n)+0.1 {
+		t.Errorf("final = %v, want ≈%v", final, -float64(n))
+	}
+}
+
+func TestAdamEvaluationPatternMatchesGD(t *testing.T) {
+	n, iters := 4, 6
+	o := DefaultOptions()
+	o.Iterations = iters
+	calls := 0
+	eval := func(p []float64) (float64, error) { calls++; return 0, nil }
+	res, err := Adam(eval, make([]float64, n), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GDEvaluationsPerRun(n, iters)
+	if calls != want || res.Evaluations != want {
+		t.Errorf("Adam calls = %d, want GD-shaped %d", calls, want)
+	}
+}
+
+func TestAdamValidates(t *testing.T) {
+	o := DefaultOptions()
+	o.Iterations = 0
+	if _, err := Adam(quadratic([]float64{0}), []float64{0}, o); err == nil {
+		t.Error("Adam accepted zero iterations")
+	}
+}

@@ -1,0 +1,80 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"qtenon/internal/qsim"
+	"qtenon/internal/vqa"
+)
+
+// QAOA shares each layer parameter across many gates, which makes the
+// single-shift π/2 rule a BIASED gradient estimator (the exact rule
+// would sum per-gate shifts). What gradient descent actually needs is
+// descent: following the estimator must still reduce the exact cost.
+func TestParameterShiftDescendsOnQAOA(t *testing.T) {
+	w, err := vqa.NewQAOA(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(p []float64) (float64, error) {
+		st, err := qsim.Run(w.Circuit.Bind(p))
+		if err != nil {
+			return 0, err
+		}
+		return w.Hamiltonian.Expectation(st), nil
+	}
+	start, err := cost(w.InitialParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Iterations = 12
+	o.LearningRate = 0.08
+	res, err := GradientDescent(cost, w.InitialParams, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.History[0]
+	for _, c := range res.History {
+		if c < best {
+			best = c
+		}
+	}
+	if best >= start-0.3 {
+		t.Errorf("parameter-shift GD made no progress on QAOA: start %v, best %v", start, best)
+	}
+}
+
+// For NON-shared parameters (one gate per parameter) the rule is exact:
+// build a VQE-style ansatz where each RY has its own parameter.
+func TestParameterShiftExactOnIndependentParams(t *testing.T) {
+	w, err := vqa.NewVQE(4, 2) // 8 independent RY parameters
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(p []float64) float64 {
+		st, err := qsim.Run(w.Circuit.Bind(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Hamiltonian.Expectation(st)
+	}
+	params := append([]float64(nil), w.InitialParams...)
+	for i := range params {
+		plus, minus := append([]float64(nil), params...), append([]float64(nil), params...)
+		plus[i] += math.Pi / 2
+		minus[i] -= math.Pi / 2
+		shiftGrad := (cost(plus) - cost(minus)) / 2
+
+		const h = 1e-6
+		fp, fm := append([]float64(nil), params...), append([]float64(nil), params...)
+		fp[i] += h
+		fm[i] -= h
+		fdGrad := (cost(fp) - cost(fm)) / (2 * h)
+
+		if math.Abs(shiftGrad-fdGrad) > 1e-4 {
+			t.Errorf("param %d: shift grad %v != FD grad %v (must be exact)", i, shiftGrad, fdGrad)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: GroupTerms always produces qubit-wise compatible groups that
+// cover every term exactly once, on random Hamiltonians.
+func TestGroupTermsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	axes := []Axis{XAxis, YAxis, ZAxis}
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(6)
+		h := NewHamiltonian(n)
+		terms := 5 + rng.Intn(20)
+		for i := 0; i < terms; i++ {
+			var fs []Factor
+			used := map[int]bool{}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				q := rng.Intn(n)
+				if used[q] {
+					continue
+				}
+				used[q] = true
+				fs = append(fs, Factor{Qubit: q, Axis: axes[rng.Intn(3)]})
+			}
+			s, err := NewStr(fs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.MustAdd(rng.NormFloat64(), s)
+		}
+		groups := h.GroupTerms()
+		covered := make([]bool, len(h.Terms))
+		for gi, g := range groups {
+			if len(g.Basis) != n {
+				t.Fatalf("trial %d: group %d basis width %d", trial, gi, len(g.Basis))
+			}
+			for _, ti := range g.TermIdx {
+				if covered[ti] {
+					t.Fatalf("trial %d: term %d in two groups", trial, ti)
+				}
+				covered[ti] = true
+				// Every factor of the term matches the group basis.
+				for _, f := range h.Terms[ti].Str.Factors {
+					if g.Basis[f.Qubit] != f.Axis {
+						t.Fatalf("trial %d: term %d factor %v incompatible with group basis", trial, ti, f)
+					}
+				}
+			}
+		}
+		for ti, ok := range covered {
+			if !ok {
+				t.Fatalf("trial %d: term %d uncovered", trial, ti)
+			}
+		}
+	}
+}
+
+// Grouping monotonicity: Z-only Hamiltonians always fit one group.
+func TestZOnlySingleGroup(t *testing.T) {
+	h := NewHamiltonian(10)
+	for q := 0; q < 10; q++ {
+		h.MustAdd(1, Z(q))
+	}
+	for q := 0; q+1 < 10; q++ {
+		h.MustAdd(0.5, ZZ(q, q+1))
+	}
+	if groups := h.GroupTerms(); len(groups) != 1 {
+		t.Errorf("Z-only Hamiltonian needs %d groups, want 1", len(groups))
+	}
+}

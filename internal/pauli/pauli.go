@@ -1,0 +1,304 @@
+// Package pauli implements Pauli-string observables and Hamiltonians —
+// the cost operators of the paper's three workloads. QAOA's MaxCut cost
+// is a sum of ZZ terms, VQE minimizes a molecular Hamiltonian of general
+// Pauli strings, and QNN losses reduce to Z expectations.
+//
+// The package provides exact expectations against a statevector (used to
+// validate at small scale) and shot-based estimation from measurement
+// counts, including the basis-change circuits needed to measure X/Y
+// factors — the full path a real hybrid stack uses.
+package pauli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qsim"
+)
+
+// Axis is a single-qubit Pauli factor.
+type Axis uint8
+
+// Pauli factors. IAxis factors are implicit: strings only store
+// non-identity factors.
+const (
+	IAxis Axis = iota
+	XAxis
+	YAxis
+	ZAxis
+)
+
+// String returns "I", "X", "Y" or "Z".
+func (a Axis) String() string { return [...]string{"I", "X", "Y", "Z"}[a] }
+
+// Factor is one non-identity Pauli factor acting on a qubit.
+type Factor struct {
+	Qubit int
+	Axis  Axis
+}
+
+// Str is a Pauli string: a tensor product of non-identity factors on
+// distinct qubits, in ascending qubit order.
+type Str struct {
+	Factors []Factor
+}
+
+// NewStr builds a Pauli string from factors, sorting by qubit and
+// rejecting duplicates or identity factors.
+func NewStr(factors ...Factor) (Str, error) {
+	fs := append([]Factor(nil), factors...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Qubit < fs[j].Qubit })
+	for i, f := range fs {
+		if f.Axis == IAxis {
+			return Str{}, fmt.Errorf("pauli: identity factor on qubit %d", f.Qubit)
+		}
+		if f.Qubit < 0 {
+			return Str{}, fmt.Errorf("pauli: negative qubit %d", f.Qubit)
+		}
+		if i > 0 && fs[i-1].Qubit == f.Qubit {
+			return Str{}, fmt.Errorf("pauli: duplicate qubit %d", f.Qubit)
+		}
+	}
+	return Str{Factors: fs}, nil
+}
+
+// MustStr is NewStr for literals in trusted code.
+func MustStr(factors ...Factor) Str {
+	s, err := NewStr(factors...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Z returns the single-qubit Z string on q.
+func Z(q int) Str { return MustStr(Factor{q, ZAxis}) }
+
+// ZZ returns the two-qubit Z⊗Z string on a and b.
+func ZZ(a, b int) Str { return MustStr(Factor{a, ZAxis}, Factor{b, ZAxis}) }
+
+// String renders e.g. "X0*Z3".
+func (s Str) String() string {
+	if len(s.Factors) == 0 {
+		return "I"
+	}
+	parts := make([]string, len(s.Factors))
+	for i, f := range s.Factors {
+		parts[i] = fmt.Sprintf("%s%d", f.Axis, f.Qubit)
+	}
+	return strings.Join(parts, "*")
+}
+
+// MaxQubit reports the highest qubit index used, or -1 for the identity.
+func (s Str) MaxQubit() int {
+	if len(s.Factors) == 0 {
+		return -1
+	}
+	return s.Factors[len(s.Factors)-1].Qubit
+}
+
+// Mask returns the bitmask of qubits the string acts on.
+func (s Str) Mask() uint64 {
+	var m uint64
+	for _, f := range s.Factors {
+		m |= 1 << f.Qubit
+	}
+	return m
+}
+
+// ZBasisOnly reports whether every factor is Z (measurable directly in
+// the computational basis).
+func (s Str) ZBasisOnly() bool {
+	for _, f := range s.Factors {
+		if f.Axis != ZAxis {
+			return false
+		}
+	}
+	return true
+}
+
+// BasisChange returns the gates that rotate each X/Y factor of s into the
+// Z basis, to be appended before measurement: H for X, S†H (here RX(π/2))
+// for Y.
+func (s Str) BasisChange() []circuit.Gate {
+	var gates []circuit.Gate
+	for _, f := range s.Factors {
+		switch f.Axis {
+		case XAxis:
+			gates = append(gates, circuit.Gate{Kind: circuit.H, Qubit: f.Qubit, Param: circuit.NoParam})
+		case YAxis:
+			// RX(π/2) maps Y eigenbasis onto Z eigenbasis.
+			gates = append(gates, circuit.Gate{Kind: circuit.RX, Qubit: f.Qubit, Theta: circuit.Pi / 2, Param: circuit.NoParam})
+		}
+	}
+	return gates
+}
+
+// EigenSign returns the ±1 eigenvalue that basis-state outcome (after any
+// basis change) contributes: the parity of the measured bits on the
+// string's support.
+func (s Str) EigenSign(outcome uint64) float64 {
+	bits := outcome & s.Mask()
+	// popcount parity
+	parity := 0
+	for bits != 0 {
+		bits &= bits - 1
+		parity ^= 1
+	}
+	if parity == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Term is a weighted Pauli string.
+type Term struct {
+	Coeff float64
+	Str   Str
+}
+
+// Hamiltonian is a real-coefficient sum of Pauli strings, plus an
+// identity offset.
+type Hamiltonian struct {
+	NQubits int
+	Offset  float64
+	Terms   []Term
+}
+
+// NewHamiltonian returns an empty Hamiltonian over n qubits.
+func NewHamiltonian(n int) *Hamiltonian { return &Hamiltonian{NQubits: n} }
+
+// Add appends a term, validating its support.
+func (h *Hamiltonian) Add(coeff float64, s Str) error {
+	if s.MaxQubit() >= h.NQubits {
+		return fmt.Errorf("pauli: term %v exceeds %d qubits", s, h.NQubits)
+	}
+	if len(s.Factors) == 0 {
+		h.Offset += coeff
+		return nil
+	}
+	h.Terms = append(h.Terms, Term{Coeff: coeff, Str: s})
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (h *Hamiltonian) MustAdd(coeff float64, s Str) {
+	if err := h.Add(coeff, s); err != nil {
+		panic(err)
+	}
+}
+
+// Expectation computes ⟨ψ|H|ψ⟩ exactly against a statevector.
+func (h *Hamiltonian) Expectation(st *qsim.State) float64 {
+	if st.NQubits() < h.NQubits {
+		panic("pauli: state narrower than Hamiltonian")
+	}
+	e := h.Offset
+	for _, t := range h.Terms {
+		e += t.Coeff * expectStr(st, t.Str)
+	}
+	return e
+}
+
+// expectStr computes ⟨ψ|P|ψ⟩ for one Pauli string by applying the basis
+// change to a clone and reading Z-parity expectations.
+func expectStr(st *qsim.State, s Str) float64 {
+	work := st
+	if !s.ZBasisOnly() {
+		work = st.Clone()
+		for _, g := range s.BasisChange() {
+			work.Apply(g)
+		}
+	}
+	var e float64
+	for i, a := range work.Amplitudes() {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		e += p * s.EigenSign(uint64(i))
+	}
+	return e
+}
+
+// EstimateFromCounts estimates ⟨P⟩ from measurement outcomes taken in the
+// string's measurement basis.
+func EstimateFromCounts(s Str, outcomes []uint64) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range outcomes {
+		sum += s.EigenSign(o)
+	}
+	return sum / float64(len(outcomes))
+}
+
+// Group is a set of term indices measurable simultaneously (their strings
+// are qubit-wise compatible: on every shared qubit the axes agree).
+type Group struct {
+	TermIdx []int
+	// Basis holds, per qubit, the axis measured (IAxis where unused).
+	Basis []Axis
+}
+
+// GroupTerms partitions the Hamiltonian's terms into qubit-wise
+// commuting measurement groups using a first-fit heuristic. Each group
+// costs one circuit execution batch, so fewer groups means fewer
+// quantum-host rounds — the quantity the paper's communication model
+// depends on.
+func (h *Hamiltonian) GroupTerms() []Group {
+	var groups []Group
+next:
+	for i, t := range h.Terms {
+		for gi := range groups {
+			g := &groups[gi]
+			ok := true
+			for _, f := range t.Str.Factors {
+				if g.Basis[f.Qubit] != IAxis && g.Basis[f.Qubit] != f.Axis {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, f := range t.Str.Factors {
+					g.Basis[f.Qubit] = f.Axis
+				}
+				g.TermIdx = append(g.TermIdx, i)
+				continue next
+			}
+		}
+		g := Group{Basis: make([]Axis, h.NQubits)}
+		for _, f := range t.Str.Factors {
+			g.Basis[f.Qubit] = f.Axis
+		}
+		g.TermIdx = append(g.TermIdx, i)
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// BasisChange returns the pre-measurement rotation gates for a group.
+func (g Group) BasisChange() []circuit.Gate {
+	var gates []circuit.Gate
+	for q, a := range g.Basis {
+		switch a {
+		case XAxis:
+			gates = append(gates, circuit.Gate{Kind: circuit.H, Qubit: q, Param: circuit.NoParam})
+		case YAxis:
+			gates = append(gates, circuit.Gate{Kind: circuit.RX, Qubit: q, Theta: circuit.Pi / 2, Param: circuit.NoParam})
+		}
+	}
+	return gates
+}
+
+// EstimateFromGroupCounts estimates the full Hamiltonian from per-group
+// outcome samples (outcomes[gi] sampled after groups[gi].BasisChange()).
+func (h *Hamiltonian) EstimateFromGroupCounts(groups []Group, outcomes [][]uint64) float64 {
+	e := h.Offset
+	for gi, g := range groups {
+		for _, ti := range g.TermIdx {
+			e += h.Terms[ti].Coeff * EstimateFromCounts(h.Terms[ti].Str, outcomes[gi])
+		}
+	}
+	return e
+}

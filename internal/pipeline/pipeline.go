@@ -1,0 +1,293 @@
+// Package pipeline implements the four-stage pulse-computation pipeline
+// of §5.3 / Figure 6, cycle-accurately:
+//
+//	Stage 1  read the circuit definition from the Program Index Buffer
+//	Stage 2  decode; fetch Regfile if R=1; query the SLT when Status=0
+//	Stage 3  dispatch to a free PGU via priority encoder (stall S1/S2
+//	         when all PGUs are busy; S4 is decoupled by ready/valid)
+//	Stage 4  arbitrate PGU completions and write pulses to the pulse cache
+//
+// The model executes one cycle per step with real data flowing through:
+// program entries are read from and written back to the quantum
+// controller cache, SLT lookups hit the slt.Bank, and completed PGUs
+// store genuine synthesized pulse entries.
+package pipeline
+
+import (
+	"fmt"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/hw"
+	"qtenon/internal/pulse"
+	"qtenon/internal/qcc"
+	"qtenon/internal/slt"
+)
+
+// WorkItem names one program entry to process.
+type WorkItem struct {
+	Qubit int
+	Index int
+}
+
+// Config sets pipeline geometry.
+type Config struct {
+	PGUs       int   // parallel pulse generation units (paper: 8)
+	PGULatency int64 // cycles per pulse (paper: 1000)
+	UseSLT     bool  // false = ablation: always generate
+	// QSpaceLatency is the extra stage-2 stall (cycles) when an SLT miss
+	// consults QSpace over datapath ❸ — a DRAM-class access (Figure 7
+	// steps ❷–❸). Evictions add the same cost again for the write-back.
+	QSpaceLatency int64
+	Timing        circuit.Timing
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{PGUs: 8, PGULatency: 1000, UseSLT: true, QSpaceLatency: 100, Timing: circuit.DefaultTiming()}
+}
+
+// Result reports one pipeline run.
+type Result struct {
+	Cycles       int64 // total cycles from first fetch to last writeback
+	Processed    int   // entries examined
+	Generated    int   // pulses actually synthesized (SLT misses)
+	Skipped      int   // entries resolved without generation
+	StallCycles  int64 // cycles stages 1–2 were stalled on busy PGUs
+	QSpaceCycles int64 // stage-2 stalls on QSpace accesses (datapath ❸)
+	Writebacks   int   // pulse cache writes
+}
+
+// Pipeline binds the hardware resources the four stages touch.
+type Pipeline struct {
+	cfg   Config
+	cache *qcc.Cache
+	bank  *slt.Bank
+	pgu   *pulse.PGU
+}
+
+// New builds a pipeline over the controller cache and SLT bank.
+func New(cfg Config, cache *qcc.Cache, bank *slt.Bank) (*Pipeline, error) {
+	if cfg.PGUs <= 0 || cfg.PGULatency <= 0 {
+		return nil, fmt.Errorf("pipeline: non-positive PGU geometry %+v", cfg)
+	}
+	if cache.Config().NQubits != bank.NQubits() {
+		return nil, fmt.Errorf("pipeline: cache has %d qubits, SLT bank %d", cache.Config().NQubits, bank.NQubits())
+	}
+	p := &Pipeline{cfg: cfg, cache: cache, bank: bank, pgu: pulse.NewPGU()}
+	p.pgu.LatencyCycle = cfg.PGULatency
+	return p, nil
+}
+
+// job is the payload flowing from stage 2 to a PGU.
+type job struct {
+	qubit int
+	index int // program entry index (for status writeback)
+	kind  circuit.Kind
+	data  uint32 // quantized angle after regfile resolution
+	qaddr uint32 // pulse slot
+}
+
+type pguState struct {
+	busy    bool
+	remain  int64
+	current job
+	done    bool
+}
+
+// Run processes the work items in order and returns cycle-accurate
+// results. It mutates the cache: program entries get their QAddr/Status
+// fields updated and generated pulses land in the .pulse segment.
+func (p *Pipeline) Run(items []WorkItem) (Result, error) {
+	var res Result
+	if len(items) == 0 {
+		return res, nil
+	}
+
+	pgus := make([]pguState, p.cfg.PGUs)
+	arb := hw.NewArbiter(p.cfg.PGUs)
+	next := 0 // next item to fetch (stage 1 pointer)
+
+	// Stage latches.
+	var s2 *WorkItem  // fetched, awaiting decode
+	var s3 *job       // decoded, awaiting PGU dispatch
+	var s2stall int64 // stage-2 QSpace stall countdown
+
+	inflight := func() bool {
+		if s2 != nil || s3 != nil || s2stall > 0 {
+			return true
+		}
+		for _, g := range pgus {
+			if g.busy || g.done {
+				return true
+			}
+		}
+		return false
+	}
+
+	var cycles int64
+	for next < len(items) || inflight() {
+		cycles++
+		if cycles > int64(len(items))*p.cfg.PGULatency*2+10000 {
+			return res, fmt.Errorf("pipeline: livelock after %d cycles", cycles)
+		}
+
+		// Stage 4: arbitrate one completed PGU and write back its pulse.
+		reqs := make([]bool, len(pgus))
+		for i := range pgus {
+			reqs[i] = pgus[i].done
+		}
+		if g := arb.Grant(reqs); g >= 0 {
+			j := pgus[g].current
+			if err := p.writePulse(j); err != nil {
+				return res, err
+			}
+			if err := p.setStatus(j, qcc.StatusValid); err != nil {
+				return res, err
+			}
+			pgus[g] = pguState{}
+			res.Writebacks++
+		}
+
+		// Stage 3 bookkeeping: tick running PGUs.
+		for i := range pgus {
+			if pgus[i].busy {
+				pgus[i].remain--
+				if pgus[i].remain <= 0 {
+					pgus[i].busy = false
+					pgus[i].done = true
+				}
+			}
+		}
+
+		// Stage 3 dispatch: priority-encode a free PGU for the s3 job.
+		stalled := false
+		if s3 != nil {
+			free := make([]bool, len(pgus))
+			for i := range pgus {
+				free[i] = !pgus[i].busy && !pgus[i].done
+			}
+			if g := hw.PriorityEncoder(free); g >= 0 {
+				pgus[g] = pguState{busy: true, remain: p.cfg.PGULatency, current: *s3}
+				s3 = nil
+			} else {
+				stalled = true // all PGUs occupied: stall stages 1–2
+				res.StallCycles++
+			}
+		}
+
+		// Stage 2: decode + SLT, stalling on QSpace traffic.
+		if s2stall > 0 {
+			s2stall--
+			res.QSpaceCycles++
+		} else if !stalled && s2 != nil && s3 == nil {
+			j, generate, extra, err := p.decode(*s2)
+			if err != nil {
+				return res, err
+			}
+			res.Processed++
+			s2stall = extra
+			if generate {
+				s3 = &j
+			} else {
+				res.Skipped++
+			}
+			s2 = nil
+		}
+
+		// Stage 1: fetch.
+		if !stalled && s2stall == 0 && s2 == nil && next < len(items) {
+			it := items[next]
+			next++
+			s2 = &it
+		}
+	}
+	res.Cycles = cycles
+	res.Generated = res.Writebacks
+	return res, nil
+}
+
+// decode performs the stage-2 work for one entry. It reports whether a
+// pulse must be generated and how many extra cycles stage 2 stalls on
+// QSpace traffic (datapath ❸).
+func (p *Pipeline) decode(it WorkItem) (job, bool, int64, error) {
+	e, err := p.cache.ReadProgram(it.Qubit, it.Index, qcc.HardwareAccess)
+	if err != nil {
+		return job{}, false, 0, err
+	}
+	data := e.Data
+	if e.RegFlag {
+		v, err := p.cache.ReadReg(int(e.Data), qcc.HardwareAccess)
+		if err != nil {
+			return job{}, false, 0, err
+		}
+		data = v & qcc.MaxEntryData
+	}
+	j := job{qubit: it.Qubit, index: it.Index, kind: circuit.Kind(e.Type), data: data}
+
+	if e.Status == qcc.StatusValid && !e.RegFlag {
+		// QAddress already valid and the parameter cannot have changed:
+		// nothing to do.
+		return j, false, 0, nil
+	}
+
+	if !p.cfg.UseSLT {
+		// Ablation: always allocate a fresh slot and generate.
+		slot := p.bank.Qubit(it.Qubit).AllocateAlways()
+		j.qaddr = slot
+		e.QAddr = slot & qcc.MaxEntryQAddr
+		e.Status = qcc.StatusPending
+		if err := p.cache.WriteProgram(it.Qubit, it.Index, e, qcc.HardwareAccess); err != nil {
+			return j, false, 0, err
+		}
+		return j, true, 0, nil
+	}
+
+	res := p.bank.Qubit(it.Qubit).Lookup(e.Type, data)
+	j.qaddr = res.QAddr
+	e.QAddr = res.QAddr & qcc.MaxEntryQAddr
+	// SLT hits resolve in the pipeline cycle. A QSpace HIT must wait for
+	// the DRAM read (the stored QAddress is needed before linking), so it
+	// pays the datapath-❸ latency. Allocation proceeds speculatively and
+	// eviction write-backs are posted, so neither stalls stage 2.
+	var extra int64
+	if res.Outcome == slt.HitQSpace {
+		extra += p.cfg.QSpaceLatency
+	}
+	if res.Outcome == slt.Allocated {
+		e.Status = qcc.StatusPending
+		if err := p.cache.WriteProgram(it.Qubit, it.Index, e, qcc.HardwareAccess); err != nil {
+			return j, false, 0, err
+		}
+		return j, true, extra, nil
+	}
+	// Hit (SLT or QSpace): pulse exists; just link the address.
+	e.Status = qcc.StatusValid
+	if err := p.cache.WriteProgram(it.Qubit, it.Index, e, qcc.HardwareAccess); err != nil {
+		return j, false, 0, err
+	}
+	return j, false, extra, nil
+}
+
+// writePulse synthesizes the job's pulse and stores its first entry at
+// the allocated slot.
+func (p *Pipeline) writePulse(j job) error {
+	durNs := p.cfg.Timing.GateDuration(j.kind).Nanoseconds()
+	entries := p.pgu.Generate(j.kind, qcc.DequantizeAngle(j.data), durNs)
+	cfg := p.cache.Config()
+	for i, e := range entries {
+		idx := (int(j.qaddr) + i) % cfg.PulseEntries
+		if err := p.cache.WritePulse(j.qubit, idx, e, qcc.HardwareAccess); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) setStatus(j job, status uint8) error {
+	e, err := p.cache.ReadProgram(j.qubit, j.index, qcc.HardwareAccess)
+	if err != nil {
+		return err
+	}
+	e.Status = status
+	return p.cache.WriteProgram(j.qubit, j.index, e, qcc.HardwareAccess)
+}

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"testing"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qcc"
+)
+
+// TestQSpaceHitStallsStage2 drives the Figure 7 path where the SLT
+// evicts a parameter and a later lookup recovers it from QSpace: that
+// lookup must pay the datapath-❸ latency, visible as QSpaceCycles.
+func TestQSpaceHitStallsStage2(t *testing.T) {
+	cfg := DefaultConfig()
+	p, cache, bank := rig(t, 1, cfg)
+
+	// Three parameters that collide in one SLT set (same type, same low
+	// 4 data bits) overflow the 2 ways and evict the first.
+	angleFor := func(tag uint32) float64 {
+		// data = tag<<4 exactly (within 24 bits) → distinct tags, same
+		// index.
+		return qcc.DequantizeAngle(tag << 4)
+	}
+	for i, tag := range []uint32{1, 2, 3} {
+		loadGate(t, cache, 0, i, circuit.RX, angleFor(tag))
+	}
+	res, err := p.Run([]WorkItem{{0, 0}, {0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != 3 {
+		t.Fatalf("initial generation = %d, want 3", res.Generated)
+	}
+	if res.QSpaceCycles != 0 {
+		t.Fatalf("allocations stalled on QSpace: %d cycles", res.QSpaceCycles)
+	}
+	if bank.Qubit(0).Stats.Evictions == 0 {
+		t.Fatal("no eviction; the conflict set did not overflow")
+	}
+
+	// Re-query the evicted parameter from a FRESH entry (the original
+	// entry is status-valid and skips the SLT entirely).
+	loadGate(t, cache, 0, 3, circuit.RX, angleFor(1))
+	res2, err := p.Run([]WorkItem{{0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Generated != 0 {
+		t.Fatalf("QSpace-recovered parameter regenerated its pulse")
+	}
+	if res2.QSpaceCycles != cfg.QSpaceLatency {
+		t.Errorf("QSpaceCycles = %d, want %d (one DRAM access)", res2.QSpaceCycles, cfg.QSpaceLatency)
+	}
+	if res2.Cycles < cfg.QSpaceLatency {
+		t.Errorf("total cycles %d below the QSpace stall %d", res2.Cycles, cfg.QSpaceLatency)
+	}
+}
+
+func TestQSpaceLatencyZeroDisablesStall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QSpaceLatency = 0
+	p, cache, _ := rig(t, 1, cfg)
+	for i, tag := range []uint32{1, 2, 3} {
+		loadGate(t, cache, 0, i, circuit.RX, qcc.DequantizeAngle(tag<<4))
+	}
+	if _, err := p.Run([]WorkItem{{0, 0}, {0, 1}, {0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	loadGate(t, cache, 0, 3, circuit.RX, qcc.DequantizeAngle(uint32(1)<<4))
+	res, err := p.Run([]WorkItem{{0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QSpaceCycles != 0 {
+		t.Errorf("QSpaceCycles = %d with zero latency configured", res.QSpaceCycles)
+	}
+}

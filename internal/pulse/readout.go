@@ -1,0 +1,66 @@
+package pulse
+
+import "math"
+
+// Readout pulse synthesis. Measurement drives are not PGU products — the
+// paper keeps them out of the .pulse path as fixed waveforms (compiled
+// entries carry StatusValid) — but the waveform itself still has to
+// exist to budget the ADI. A dispersive readout tone is a flat-top pulse
+// at the resonator frequency: ramp up, hold, ramp down.
+
+// ReadoutParams configures the measurement tone.
+type ReadoutParams struct {
+	SampleRateHz float64
+	DurationNs   float64 // total pulse length (paper: 600 ns window)
+	RampNs       float64 // cosine ramp at each end
+	Amplitude    float64 // 0..1 of full scale
+	IFHz         float64 // intermediate frequency of the tone
+}
+
+// DefaultReadoutParams returns a 600 ns flat-top tone with 50 ns ramps
+// at a 50 MHz intermediate frequency — typical dispersive readout.
+func DefaultReadoutParams() ReadoutParams {
+	return ReadoutParams{
+		SampleRateHz: DACRateHz,
+		DurationNs:   600,
+		RampNs:       50,
+		Amplitude:    0.5,
+		IFHz:         50e6,
+	}
+}
+
+// SynthesizeReadout renders the readout tone.
+func SynthesizeReadout(p ReadoutParams) Waveform {
+	n := int(p.DurationNs * p.SampleRateHz / 1e9)
+	if n <= 0 {
+		n = 1
+	}
+	ramp := int(p.RampNs * p.SampleRateHz / 1e9)
+	if 2*ramp > n {
+		ramp = n / 2
+	}
+	wf := make(Waveform, n)
+	for i := range wf {
+		env := 1.0
+		switch {
+		case i < ramp && ramp > 0:
+			env = 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(ramp)))
+		case i >= n-ramp && ramp > 0:
+			env = 0.5 * (1 - math.Cos(math.Pi*float64(n-1-i)/float64(ramp)))
+		}
+		phase := 2 * math.Pi * p.IFHz * float64(i) / p.SampleRateHz
+		wf[i] = IQ{
+			I: quantize(p.Amplitude * env * math.Cos(phase)),
+			Q: quantize(p.Amplitude * env * math.Sin(phase)),
+		}
+	}
+	return wf
+}
+
+// ReadoutEntries reports how many 640-bit pulse entries a readout tone
+// occupies — why it lives in a dedicated waveform buffer rather than the
+// per-qubit .pulse chunks (a 600 ns tone is 60 entries; 1024-entry
+// chunks would be dominated by readout otherwise).
+func ReadoutEntries(p ReadoutParams) int {
+	return len(PackEntries(SynthesizeReadout(p)))
+}

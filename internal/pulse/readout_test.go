@@ -1,0 +1,61 @@
+package pulse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReadoutShape(t *testing.T) {
+	p := DefaultReadoutParams()
+	wf := SynthesizeReadout(p)
+	if len(wf) != 1200 { // 600 ns × 2 GS/s
+		t.Fatalf("len = %d, want 1200", len(wf))
+	}
+	// Edges start at (near) zero; the flat top sustains amplitude.
+	mag := func(s IQ) float64 {
+		return math.Hypot(float64(s.I), float64(s.Q))
+	}
+	if mag(wf[0]) > 0.02*float64(math.MaxInt16) {
+		t.Errorf("pulse does not ramp from zero: %v", wf[0])
+	}
+	mid := mag(wf[len(wf)/2])
+	want := p.Amplitude * float64(math.MaxInt16)
+	if math.Abs(mid-want) > 0.02*want {
+		t.Errorf("flat-top magnitude = %v, want ≈%v", mid, want)
+	}
+	// Envelope symmetric: last sample also near zero.
+	if mag(wf[len(wf)-1]) > 0.05*float64(math.MaxInt16) {
+		t.Errorf("pulse does not ramp to zero: %v", wf[len(wf)-1])
+	}
+}
+
+func TestReadoutToneOscillates(t *testing.T) {
+	// The IF tone rotates through IQ space: I changes sign over a half
+	// period (10 ns at 50 MHz = 20 samples).
+	wf := SynthesizeReadout(DefaultReadoutParams())
+	c := len(wf) / 2
+	if (wf[c].I > 0) == (wf[c+20].I > 0) {
+		t.Errorf("no IF oscillation: I[%d]=%d I[%d]=%d", c, wf[c].I, c+20, wf[c+20].I)
+	}
+}
+
+func TestReadoutEntriesBudget(t *testing.T) {
+	// 600 ns at 2 GS/s = 1200 samples = 60 entries of 20 samples.
+	if got := ReadoutEntries(DefaultReadoutParams()); got != 60 {
+		t.Errorf("ReadoutEntries = %d, want 60", got)
+	}
+}
+
+func TestReadoutDegenerate(t *testing.T) {
+	p := DefaultReadoutParams()
+	p.DurationNs = 0
+	if wf := SynthesizeReadout(p); len(wf) != 1 {
+		t.Errorf("zero duration len = %d", len(wf))
+	}
+	p = DefaultReadoutParams()
+	p.RampNs = 10000 // longer than the pulse: clamp to half
+	wf := SynthesizeReadout(p)
+	if len(wf) != 1200 {
+		t.Errorf("len = %d", len(wf))
+	}
+}

@@ -1,0 +1,60 @@
+package qcc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeAngleBasics(t *testing.T) {
+	if QuantizeAngle(0) != 0 {
+		t.Errorf("Quantize(0) = %d", QuantizeAngle(0))
+	}
+	if got := QuantizeAngle(math.Pi); got != 1<<(AngleBits-1) {
+		t.Errorf("Quantize(π) = %d, want %d", got, 1<<(AngleBits-1))
+	}
+	// 2π wraps to 0.
+	if got := QuantizeAngle(2 * math.Pi); got != 0 {
+		t.Errorf("Quantize(2π) = %d", got)
+	}
+	// Negative angles fold into [0, 2π).
+	if got, want := QuantizeAngle(-math.Pi/2), QuantizeAngle(3*math.Pi/2); got != want {
+		t.Errorf("Quantize(-π/2) = %d, want %d", got, want)
+	}
+}
+
+func TestQuantizeFitsDataField(t *testing.T) {
+	for _, theta := range []float64{0, 1, -1, 100, -100, 2 * math.Pi, 6.283} {
+		if q := QuantizeAngle(theta); q > MaxEntryData {
+			t.Errorf("Quantize(%v) = %d exceeds 27-bit data field", theta, q)
+		}
+		if q := QuantizeAngle(theta); q >= 1<<AngleBits {
+			t.Errorf("Quantize(%v) = %d exceeds %d bits", theta, q, AngleBits)
+		}
+	}
+}
+
+// Property: dequantize(quantize(θ)) is within half a quantization step,
+// and quantization is idempotent.
+func TestQuantizeRoundTripProperty(t *testing.T) {
+	step := 2 * math.Pi / (1 << AngleBits)
+	f := func(theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) || math.Abs(theta) > 1e6 {
+			return true
+		}
+		q := QuantizeAngle(theta)
+		back := DequantizeAngle(q)
+		folded := math.Mod(theta, 2*math.Pi)
+		if folded < 0 {
+			folded += 2 * math.Pi
+		}
+		diff := math.Abs(back - folded)
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		return diff <= step && QuantizeAngle(back) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package qcc
+
+import "fmt"
+
+// HostWindow is the address translator of Figure 5: it maps a region of
+// the host physical address space onto the PUBLIC quantum controller
+// cache segments, so ordinary loads/stores (and TileLink PUT/GET beats)
+// can name controller entries. Private segments are deliberately
+// unmapped — the hardware-isolation property of §5.1 enforced at
+// translation time rather than access time.
+type HostWindow struct {
+	base uint64 // host physical base of the window
+	cfg  Config
+}
+
+// NewHostWindow maps the controller's QAddress space starting at the
+// given host base address. Each QAddress occupies one 8-byte host slot
+// (entry-granular addressing with word-aligned host access).
+func NewHostWindow(base uint64, cfg Config) (*HostWindow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if base%8 != 0 {
+		return nil, fmt.Errorf("qcc: window base %#x not 8-byte aligned", base)
+	}
+	return &HostWindow{base: base, cfg: cfg}, nil
+}
+
+// Base reports the host base address.
+func (w *HostWindow) Base() uint64 { return w.base }
+
+// Size reports the window span in bytes (entry-granular ×8).
+func (w *HostWindow) Size() uint64 {
+	// The window covers up to the end of the pulse region even though
+	// pulse itself is unmapped, keeping QAddress arithmetic trivial.
+	end := w.cfg.PulseBase(w.cfg.NQubits-1) + int64(w.cfg.PulseEntries)
+	return uint64(end) * 8
+}
+
+// Contains reports whether a host address falls inside the window.
+func (w *HostWindow) Contains(hostAddr uint64) bool {
+	return hostAddr >= w.base && hostAddr < w.base+w.Size()
+}
+
+// ToQuantum translates a host address to the public location it names.
+// Misaligned addresses, addresses outside the window, and addresses
+// resolving to private or unmapped QAddresses all error.
+func (w *HostWindow) ToQuantum(hostAddr uint64) (Location, error) {
+	if !w.Contains(hostAddr) {
+		return Location{}, fmt.Errorf("qcc: host address %#x outside controller window", hostAddr)
+	}
+	if hostAddr%8 != 0 {
+		return Location{}, fmt.Errorf("qcc: host address %#x not word-aligned", hostAddr)
+	}
+	qaddr := int64((hostAddr - w.base) / 8)
+	loc, err := w.cfg.Resolve(qaddr)
+	if err != nil {
+		return Location{}, err
+	}
+	if !loc.Segment.Public() {
+		return Location{}, fmt.Errorf("qcc: host access to private segment %v via window denied", loc.Segment)
+	}
+	return loc, nil
+}
+
+// ToHost translates a QAddress to its host-visible address. Private
+// QAddresses error: they have no host mapping at all.
+func (w *HostWindow) ToHost(qaddr int64) (uint64, error) {
+	loc, err := w.cfg.Resolve(qaddr)
+	if err != nil {
+		return 0, err
+	}
+	if !loc.Segment.Public() {
+		return 0, fmt.Errorf("qcc: segment %v has no host mapping", loc.Segment)
+	}
+	return w.base + uint64(qaddr)*8, nil
+}

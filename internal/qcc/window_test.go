@@ -1,0 +1,115 @@
+package qcc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHostWindowConstruction(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if _, err := NewHostWindow(0x1001, cfg); err == nil {
+		t.Error("accepted misaligned base")
+	}
+	bad := cfg
+	bad.NQubits = 0
+	if _, err := NewHostWindow(0x1000, bad); err == nil {
+		t.Error("accepted invalid config")
+	}
+	w, err := NewHostWindow(0x8000_0000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Base() != 0x8000_0000 {
+		t.Errorf("Base = %#x", w.Base())
+	}
+	if w.Size() == 0 {
+		t.Error("zero window size")
+	}
+}
+
+func TestHostWindowTranslation(t *testing.T) {
+	cfg := DefaultConfig(64)
+	w, err := NewHostWindow(0x8000_0000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Program entry q1[2] = QAddress 0x402 → host base + 0x402*8.
+	loc, err := w.ToQuantum(0x8000_0000 + 0x402*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != (Location{SegProgram, 1, 2}) {
+		t.Errorf("loc = %+v", loc)
+	}
+	// Regfile and measure map too.
+	loc, err = w.ToQuantum(0x8000_0000 + uint64(cfg.RegfileBase())*8)
+	if err != nil || loc.Segment != SegRegfile {
+		t.Errorf("regfile via window: %+v, %v", loc, err)
+	}
+	// Private pulse segment is denied at translation time.
+	if _, err := w.ToQuantum(0x8000_0000 + uint64(cfg.PulseBase(0))*8); err == nil {
+		t.Error("window exposed the private .pulse segment")
+	}
+	// Outside, misaligned, and unmapped-hole addresses error.
+	if _, err := w.ToQuantum(0x1000); err == nil {
+		t.Error("accepted address outside window")
+	}
+	if _, err := w.ToQuantum(0x8000_0000 + 0x402*8 + 1); err == nil {
+		t.Error("accepted misaligned address")
+	}
+	if _, err := w.ToQuantum(0x8000_0000 + 0x69000*8); err == nil {
+		t.Error("accepted unmapped hole")
+	}
+}
+
+func TestHostWindowReverse(t *testing.T) {
+	cfg := DefaultConfig(8)
+	w, _ := NewHostWindow(0x4000_0000, cfg)
+	h, err := w.ToHost(cfg.MeasureBase() + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := w.ToQuantum(h)
+	if err != nil || loc != (Location{SegMeasure, -1, 5}) {
+		t.Errorf("round trip = %+v, %v", loc, err)
+	}
+	if _, err := w.ToHost(cfg.PulseBase(0)); err == nil {
+		t.Error("ToHost exposed private segment")
+	}
+	if _, err := w.ToHost(0x69000); err == nil {
+		t.Error("ToHost accepted unmapped QAddress")
+	}
+}
+
+// Property: ToQuantum and ToHost are mutually inverse over every public
+// QAddress.
+func TestHostWindowBijectionProperty(t *testing.T) {
+	cfg := DefaultConfig(16)
+	w, _ := NewHostWindow(0x8000_0000, cfg)
+	f := func(raw uint32) bool {
+		// Pick candidate QAddresses across the public ranges.
+		candidates := []int64{
+			int64(raw) % (int64(cfg.NQubits) * int64(cfg.ProgramEntries)),
+			cfg.RegfileBase() + int64(raw)%int64(cfg.RegfileEntries),
+			cfg.MeasureBase() + int64(raw)%int64(cfg.MeasureEntries),
+		}
+		for _, qa := range candidates {
+			h, err := w.ToHost(qa)
+			if err != nil {
+				return false
+			}
+			loc, err := w.ToQuantum(h)
+			if err != nil {
+				return false
+			}
+			want, err := cfg.Resolve(qa)
+			if err != nil || loc != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

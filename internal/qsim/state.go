@@ -1,0 +1,281 @@
+// Package qsim is a from-scratch statevector simulator of an ideal quantum
+// processor. It substitutes for the Qiskit backend the paper uses to
+// produce "simulator data ... for the quantum chip input and output"
+// (§7.1): it executes bound circuits exactly and samples measurement
+// outcomes.
+//
+// The state of n qubits is a dense vector of 2^n complex128 amplitudes.
+// Qubit 0 is the least-significant bit of the basis-state index (the same
+// convention OpenQASM uses for its classical registers). Exact simulation
+// is practical to roughly 20 qubits; larger experiments use the surrogate
+// sampler in internal/quantum, which this package also underpins at small
+// scale for cross-validation.
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"qtenon/internal/circuit"
+)
+
+// MaxQubits bounds exact simulation; 2^24 amplitudes (256 MiB) is the
+// practical ceiling for tests on a development machine.
+const MaxQubits = 24
+
+// State is a normalized statevector over n qubits.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0...0⟩ over n qubits.
+func NewState(n int) *State {
+	if n <= 0 || n > MaxQubits {
+		panic(fmt.Sprintf("qsim: qubit count %d outside (0,%d]", n, MaxQubits))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<n)}
+	s.amp[0] = 1
+	return s
+}
+
+// NQubits reports the register width.
+func (s *State) NQubits() int { return s.n }
+
+// Amplitudes returns the underlying amplitude slice. Callers must not
+// modify it; it is exposed for tests and expectation computations.
+func (s *State) Amplitudes() []complex128 { return s.amp }
+
+// Clone returns an independent copy.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+// Norm returns the 2-norm of the state (1 for any valid state).
+func (s *State) Norm() float64 {
+	var sum float64
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Fidelity returns |⟨s|o⟩|².
+func (s *State) Fidelity(o *State) float64 {
+	if s.n != o.n {
+		panic("qsim: fidelity between different register sizes")
+	}
+	var dot complex128
+	for i, a := range s.amp {
+		dot += cmplx.Conj(a) * o.amp[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}
+
+// apply1Q applies the 2×2 unitary {{u00,u01},{u10,u11}} to qubit q.
+func (s *State) apply1Q(q int, u00, u01, u10, u11 complex128) {
+	stride := 1 << q
+	for base := 0; base < len(s.amp); base += stride << 1 {
+		for i := base; i < base+stride; i++ {
+			a0, a1 := s.amp[i], s.amp[i+stride]
+			s.amp[i] = u00*a0 + u01*a1
+			s.amp[i+stride] = u10*a0 + u11*a1
+		}
+	}
+}
+
+// applyCZ applies a controlled-Z between qubits a and b.
+func (s *State) applyCZ(a, b int) {
+	ma, mb := 1<<a, 1<<b
+	for i := range s.amp {
+		if i&ma != 0 && i&mb != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// applyCX applies a CNOT with the given control and target.
+func (s *State) applyCX(control, target int) {
+	mc, mt := 1<<control, 1<<target
+	for i := range s.amp {
+		if i&mc != 0 && i&mt == 0 {
+			j := i | mt
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// applyRZZ applies exp(-i θ/2 Z_a Z_b), which is diagonal.
+func (s *State) applyRZZ(a, b int, theta float64) {
+	ma, mb := 1<<a, 1<<b
+	ePlus := cmplx.Exp(complex(0, -theta/2)) // ZZ eigenvalue +1
+	eMinus := cmplx.Exp(complex(0, theta/2)) // ZZ eigenvalue -1
+	for i := range s.amp {
+		if (i&ma != 0) == (i&mb != 0) {
+			s.amp[i] *= ePlus
+		} else {
+			s.amp[i] *= eMinus
+		}
+	}
+}
+
+// Apply executes one gate. Measure gates are ignored here; use Sample or
+// MeasureQubit for readout.
+func (s *State) Apply(g circuit.Gate) {
+	invSqrt2 := complex(1/math.Sqrt2, 0)
+	switch g.Kind {
+	case circuit.I:
+	case circuit.X:
+		s.apply1Q(g.Qubit, 0, 1, 1, 0)
+	case circuit.Y:
+		s.apply1Q(g.Qubit, 0, complex(0, -1), complex(0, 1), 0)
+	case circuit.Z:
+		s.apply1Q(g.Qubit, 1, 0, 0, -1)
+	case circuit.H:
+		s.apply1Q(g.Qubit, invSqrt2, invSqrt2, invSqrt2, -invSqrt2)
+	case circuit.S:
+		s.apply1Q(g.Qubit, 1, 0, 0, complex(0, 1))
+	case circuit.T:
+		s.apply1Q(g.Qubit, 1, 0, 0, cmplx.Exp(complex(0, math.Pi/4)))
+	case circuit.RX:
+		c, sn := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		s.apply1Q(g.Qubit, complex(c, 0), complex(0, -sn), complex(0, -sn), complex(c, 0))
+	case circuit.RY:
+		c, sn := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		s.apply1Q(g.Qubit, complex(c, 0), complex(-sn, 0), complex(sn, 0), complex(c, 0))
+	case circuit.RZ:
+		s.apply1Q(g.Qubit, cmplx.Exp(complex(0, -g.Theta/2)), 0, 0, cmplx.Exp(complex(0, g.Theta/2)))
+	case circuit.CZ:
+		s.applyCZ(g.Qubit, g.Qubit2)
+	case circuit.CX:
+		s.applyCX(g.Qubit, g.Qubit2)
+	case circuit.RZZ:
+		s.applyRZZ(g.Qubit, g.Qubit2, g.Theta)
+	case circuit.Measure:
+		// Readout is handled by Sample/MeasureQubit; terminal measurement
+		// gates do not change the pre-measurement state we sample from.
+	default:
+		panic(fmt.Sprintf("qsim: unsupported gate kind %v", g.Kind))
+	}
+}
+
+// Run executes a fully bound circuit starting from |0…0⟩ and returns the
+// final (pre-measurement) state.
+func Run(c *circuit.Circuit) (*State, error) {
+	if c.NumParams != 0 {
+		return nil, fmt.Errorf("qsim: circuit has %d unbound parameters", c.NumParams)
+	}
+	if c.NQubits > MaxQubits {
+		return nil, fmt.Errorf("qsim: %d qubits exceeds exact-simulation limit %d", c.NQubits, MaxQubits)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s := NewState(c.NQubits)
+	for _, g := range c.Gates {
+		s.Apply(g)
+	}
+	return s, nil
+}
+
+// Probabilities returns the measurement distribution over all basis
+// states.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amp))
+	for i, a := range s.amp {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// Sample draws `shots` full-register measurement outcomes (basis-state
+// indices, qubit 0 in bit 0) without collapsing the state.
+func (s *State) Sample(shots int, rng *rand.Rand) []uint64 {
+	p := s.Probabilities()
+	// Cumulative distribution + binary search keeps sampling O(shots·log N).
+	cdf := make([]float64, len(p))
+	var acc float64
+	for i, v := range p {
+		acc += v
+		cdf[i] = acc
+	}
+	out := make([]uint64, shots)
+	for k := range out {
+		x := rng.Float64() * acc // acc ≈ 1; scaling absorbs rounding
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[k] = uint64(lo)
+	}
+	return out
+}
+
+// MeasureQubit projects qubit q, returning the outcome bit and collapsing
+// the state. It is used by tests of mid-circuit behaviour.
+func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
+	m := 1 << q
+	var p1 float64
+	for i, a := range s.amp {
+		if i&m != 0 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	var norm float64
+	if outcome == 1 {
+		norm = math.Sqrt(p1)
+	} else {
+		norm = math.Sqrt(1 - p1)
+	}
+	for i := range s.amp {
+		if (i&m != 0) != (outcome == 1) {
+			s.amp[i] = 0
+		} else if norm > 0 {
+			s.amp[i] /= complex(norm, 0)
+		}
+	}
+	return outcome
+}
+
+// ExpectationZ returns ⟨Z_q⟩ for a single qubit.
+func (s *State) ExpectationZ(q int) float64 {
+	m := 1 << q
+	var e float64
+	for i, a := range s.amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if i&m == 0 {
+			e += p
+		} else {
+			e -= p
+		}
+	}
+	return e
+}
+
+// ExpectationZZ returns ⟨Z_a Z_b⟩.
+func (s *State) ExpectationZZ(a, b int) float64 {
+	ma, mb := 1<<a, 1<<b
+	var e float64
+	for i, amp := range s.amp {
+		p := real(amp)*real(amp) + imag(amp)*imag(amp)
+		if (i&ma != 0) == (i&mb != 0) {
+			e += p
+		} else {
+			e -= p
+		}
+	}
+	return e
+}

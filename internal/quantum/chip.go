@@ -1,0 +1,231 @@
+// Package quantum models the quantum chip and its analog-digital
+// interface. Two execution backends share one interface:
+//
+//   - Exact: the statevector simulator (internal/qsim), used up to
+//     ExactLimit qubits — this is the paper's "simulator data obtained
+//     from Qiskit" role.
+//   - Surrogate: a mean-field product-state model for large registers
+//     (the paper's 64–320-qubit sweeps), exact for single-qubit gates and
+//     mean-field for entanglers. It produces parameter-sensitive
+//     measurement statistics at O(n) cost, preserving the optimizer
+//     traffic patterns that the architecture experiments measure, which
+//     depend on shot counts and parameter counts, not on entanglement
+//     fidelity. The substitution is documented in DESIGN.md.
+//
+// Timing is analytic in both backends, exactly as in the paper (§7.1):
+// gates take 20/40 ns, measurement 600 ns, and a shot's duration is the
+// ASAP critical path of its circuit.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qsim"
+	"qtenon/internal/sim"
+)
+
+// ExactLimit is the largest register simulated exactly.
+const ExactLimit = 16
+
+// Executor abstracts a quantum execution backend: the ideal Chip or a
+// NoisyChip. System models depend on this interface so the error model
+// is a configuration choice.
+type Executor interface {
+	NQubits() int
+	Execute(c *circuit.Circuit, shots int) (Execution, error)
+}
+
+// Execution reports one q_run-style batch.
+type Execution struct {
+	Outcomes []uint64 // one basis-state index per shot (qubit 0 = bit 0)
+	ShotTime sim.Time // critical-path duration of one shot
+}
+
+// TotalTime is shots × per-shot duration.
+func (e Execution) TotalTime() sim.Time { return sim.Time(len(e.Outcomes)) * e.ShotTime }
+
+// Chip executes bound circuits and samples measurements.
+type Chip struct {
+	nqubits int
+	timing  circuit.Timing
+	rng     *rand.Rand
+	exact   bool
+}
+
+// NewChip returns a chip over n qubits with the paper's gate timing,
+// selecting the exact backend when n ≤ ExactLimit.
+func NewChip(n int, seed int64) (*Chip, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("quantum: non-positive qubit count %d", n)
+	}
+	return &Chip{
+		nqubits: n,
+		timing:  circuit.DefaultTiming(),
+		rng:     rand.New(rand.NewSource(seed)),
+		exact:   n <= ExactLimit,
+	}, nil
+}
+
+// NQubits reports the register width.
+func (c *Chip) NQubits() int { return c.nqubits }
+
+// Exact reports whether the statevector backend is active.
+func (c *Chip) Exact() bool { return c.exact }
+
+// Timing exposes the gate-duration model.
+func (c *Chip) Timing() circuit.Timing { return c.timing }
+
+// Execute runs `shots` repetitions of the bound circuit.
+func (c *Chip) Execute(ct *circuit.Circuit, shots int) (Execution, error) {
+	if ct.NQubits > c.nqubits {
+		return Execution{}, fmt.Errorf("quantum: circuit needs %d qubits, chip has %d", ct.NQubits, c.nqubits)
+	}
+	if ct.NumParams != 0 {
+		return Execution{}, fmt.Errorf("quantum: circuit has unbound parameters")
+	}
+	if shots <= 0 {
+		return Execution{}, fmt.Errorf("quantum: non-positive shot count %d", shots)
+	}
+	shot := circuit.Duration(ct, c.timing)
+	var outcomes []uint64
+	if c.exact {
+		st, err := qsim.Run(ct)
+		if err != nil {
+			return Execution{}, err
+		}
+		outcomes = st.Sample(shots, c.rng)
+	} else {
+		ps := NewProductState(ct.NQubits)
+		for _, g := range ct.Gates {
+			ps.Apply(g)
+		}
+		outcomes = ps.Sample(shots, c.rng)
+	}
+	return Execution{Outcomes: outcomes, ShotTime: shot}, nil
+}
+
+// ProductState is the mean-field surrogate: each qubit holds an exact
+// 2-component state; two-qubit gates couple qubits through their partner's
+// Z expectation (a mean-field decoupling of the interaction).
+type ProductState struct {
+	a, b []complex128 // per-qubit amplitudes of |0⟩ and |1⟩
+}
+
+// NewProductState returns |0…0⟩.
+func NewProductState(n int) *ProductState {
+	ps := &ProductState{a: make([]complex128, n), b: make([]complex128, n)}
+	for i := range ps.a {
+		ps.a[i] = 1
+	}
+	return ps
+}
+
+// P1 returns qubit q's |1⟩ probability.
+func (ps *ProductState) P1(q int) float64 {
+	return real(ps.b[q])*real(ps.b[q]) + imag(ps.b[q])*imag(ps.b[q])
+}
+
+// ZExp returns ⟨Z_q⟩ = 1 − 2·P1.
+func (ps *ProductState) ZExp(q int) float64 { return 1 - 2*ps.P1(q) }
+
+func (ps *ProductState) apply1Q(q int, u00, u01, u10, u11 complex128) {
+	a, b := ps.a[q], ps.b[q]
+	ps.a[q] = u00*a + u01*b
+	ps.b[q] = u10*a + u11*b
+}
+
+func (ps *ProductState) rz(q int, theta float64) {
+	ps.apply1Q(q, cmplx.Exp(complex(0, -theta/2)), 0, 0, cmplx.Exp(complex(0, theta/2)))
+}
+
+func (ps *ProductState) rx(q int, theta float64) {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	ps.apply1Q(q, complex(c, 0), complex(0, -s), complex(0, -s), complex(c, 0))
+}
+
+// Apply executes one gate under the mean-field rules.
+func (ps *ProductState) Apply(g circuit.Gate) {
+	invSqrt2 := complex(1/math.Sqrt2, 0)
+	switch g.Kind {
+	case circuit.I, circuit.Measure:
+	case circuit.X:
+		ps.apply1Q(g.Qubit, 0, 1, 1, 0)
+	case circuit.Y:
+		ps.apply1Q(g.Qubit, 0, complex(0, -1), complex(0, 1), 0)
+	case circuit.Z:
+		ps.apply1Q(g.Qubit, 1, 0, 0, -1)
+	case circuit.H:
+		ps.apply1Q(g.Qubit, invSqrt2, invSqrt2, invSqrt2, -invSqrt2)
+	case circuit.S:
+		ps.apply1Q(g.Qubit, 1, 0, 0, complex(0, 1))
+	case circuit.T:
+		ps.apply1Q(g.Qubit, 1, 0, 0, cmplx.Exp(complex(0, math.Pi/4)))
+	case circuit.RX:
+		ps.rx(g.Qubit, g.Theta)
+	case circuit.RY:
+		c, s := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		ps.apply1Q(g.Qubit, complex(c, 0), complex(-s, 0), complex(s, 0), complex(c, 0))
+	case circuit.RZ:
+		ps.rz(g.Qubit, g.Theta)
+	case circuit.RZZ:
+		// Mean-field: e^{-iθ/2 Z⊗Z} → RZ(θ·⟨Z_b⟩) on a and RZ(θ·⟨Z_a⟩) on b.
+		za, zb := ps.ZExp(g.Qubit), ps.ZExp(g.Qubit2)
+		ps.rz(g.Qubit, g.Theta*zb)
+		ps.rz(g.Qubit2, g.Theta*za)
+	case circuit.CZ:
+		// CZ = e^{iπ/4(Z⊗Z − Z⊗I − I⊗Z + I)}: mean-field phase kick scaled
+		// by the partner's |1⟩ population.
+		pa, pb := ps.P1(g.Qubit), ps.P1(g.Qubit2)
+		ps.rz(g.Qubit, math.Pi*pb)
+		ps.rz(g.Qubit2, math.Pi*pa)
+	case circuit.CX:
+		// Mean-field CNOT: rotate the target by π weighted by the
+		// control's |1⟩ population.
+		ps.rx(g.Qubit2, math.Pi*ps.P1(g.Qubit))
+	default:
+		panic(fmt.Sprintf("quantum: unsupported gate %v in surrogate", g.Kind))
+	}
+}
+
+// Sample draws independent per-qubit outcomes. Outcome words carry the
+// first 64 qubits; wider registers sample all qubits (the RNG stream
+// advances identically) but report the 64-qubit cost window — see
+// DESIGN.md on >64-qubit cost evaluation.
+func (ps *ProductState) Sample(shots int, rng *rand.Rand) []uint64 {
+	n := len(ps.a)
+	p1 := make([]float64, n)
+	for q := range p1 {
+		p1[q] = ps.P1(q)
+	}
+	out := make([]uint64, shots)
+	for s := range out {
+		var v uint64
+		for q := 0; q < n; q++ {
+			if rng.Float64() < p1[q] && q < 64 {
+				v |= 1 << q
+			}
+		}
+		out[s] = v
+	}
+	return out
+}
+
+// ADI is the analog-digital interface between controller and chip: fixed
+// latency each direction (paper baseline: 100 ns) and the per-qubit
+// bandwidth contract checked in internal/pulse.
+type ADI struct {
+	LatencyIn  sim.Time // controller → chip (drive)
+	LatencyOut sim.Time // chip → controller (readout)
+}
+
+// DefaultADI returns the paper's 100 ns per direction.
+func DefaultADI() ADI {
+	return ADI{LatencyIn: 100 * sim.Nanosecond, LatencyOut: 100 * sim.Nanosecond}
+}
+
+// RoundTrip is the total in+out latency added to every shot.
+func (a ADI) RoundTrip() sim.Time { return a.LatencyIn + a.LatencyOut }

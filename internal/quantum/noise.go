@@ -1,0 +1,123 @@
+package quantum
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qtenon/internal/circuit"
+)
+
+// Noise configures the NISQ error model applied during execution:
+// depolarizing errors after each gate and symmetric readout bit flips.
+// The zero value is noiseless. The architecture results do not depend on
+// noise (the paper evaluates timing), but the workloads run on NISQ
+// devices by definition (§2.1), and shot statistics under noise exercise
+// the same post-processing paths with degraded signal — useful for
+// validating optimizer robustness.
+type Noise struct {
+	// Depolar1Q and Depolar2Q are per-gate depolarizing probabilities.
+	Depolar1Q float64
+	Depolar2Q float64
+	// Readout is the per-qubit measurement bit-flip probability.
+	Readout float64
+}
+
+// Validate checks probability ranges.
+func (n Noise) Validate() error {
+	for _, p := range []float64{n.Depolar1Q, n.Depolar2Q, n.Readout} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("quantum: noise probability %v outside [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether any channel is active.
+func (n Noise) Enabled() bool { return n.Depolar1Q > 0 || n.Depolar2Q > 0 || n.Readout > 0 }
+
+// TypicalNISQ returns error rates representative of current
+// superconducting hardware: 0.1% single-qubit, 1% two-qubit, 2% readout.
+func TypicalNISQ() Noise {
+	return Noise{Depolar1Q: 0.001, Depolar2Q: 0.01, Readout: 0.02}
+}
+
+// NoisyChip wraps a Chip with the stochastic error model. Errors are
+// realized per shot-batch as randomly injected Pauli operators
+// (trajectory method), so the exact backend stays a pure statevector.
+type NoisyChip struct {
+	*Chip
+	noise Noise
+	rng   *rand.Rand
+}
+
+// NewNoisyChip builds a chip with the given error model.
+func NewNoisyChip(n int, seed int64, noise Noise) (*NoisyChip, error) {
+	if err := noise.Validate(); err != nil {
+		return nil, err
+	}
+	chip, err := NewChip(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &NoisyChip{Chip: chip, noise: noise, rng: rand.New(rand.NewSource(seed ^ 0x5eed))}, nil
+}
+
+// Noise reports the configured error model.
+func (c *NoisyChip) Noise() Noise { return c.noise }
+
+// Execute runs shots under the error model. Each shot batch samples one
+// Pauli-error trajectory (adequate for expectation-level statistics at
+// NISQ error rates) and readout errors are applied per shot, per qubit.
+func (c *NoisyChip) Execute(ct *circuit.Circuit, shots int) (Execution, error) {
+	if !c.noise.Enabled() {
+		return c.Chip.Execute(ct, shots)
+	}
+	noisy := c.injectTrajectory(ct)
+	ex, err := c.Chip.Execute(noisy, shots)
+	if err != nil {
+		return Execution{}, err
+	}
+	// Recompute the shot time from the clean circuit: injected error
+	// gates are instantaneous physical processes, not scheduled pulses.
+	ex.ShotTime = circuit.Duration(ct, c.Chip.Timing())
+	if c.noise.Readout > 0 {
+		n := min(ct.NQubits, 64)
+		for i := range ex.Outcomes {
+			for q := 0; q < n; q++ {
+				if c.rng.Float64() < c.noise.Readout {
+					ex.Outcomes[i] ^= 1 << q
+				}
+			}
+		}
+	}
+	return ex, nil
+}
+
+// injectTrajectory returns a copy of ct with sampled Pauli errors
+// appended after faulty gates.
+func (c *NoisyChip) injectTrajectory(ct *circuit.Circuit) *circuit.Circuit {
+	out := &circuit.Circuit{NQubits: ct.NQubits, NumParams: ct.NumParams}
+	paulis := []circuit.Kind{circuit.X, circuit.Y, circuit.Z}
+	inject := func(q int) {
+		k := paulis[c.rng.Intn(len(paulis))]
+		out.Gates = append(out.Gates, circuit.Gate{Kind: k, Qubit: q, Param: circuit.NoParam})
+	}
+	for _, g := range ct.Gates {
+		out.Gates = append(out.Gates, g)
+		switch {
+		case g.Kind == circuit.Measure:
+		case g.Kind.Arity() == 2:
+			if c.rng.Float64() < c.noise.Depolar2Q {
+				inject(g.Qubit)
+			}
+			if c.rng.Float64() < c.noise.Depolar2Q {
+				inject(g.Qubit2)
+			}
+		default:
+			if c.rng.Float64() < c.noise.Depolar1Q {
+				inject(g.Qubit)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package report defines the time-accounting types shared by the Qtenon
+// and baseline system models and the experiment harness: the four-way
+// end-to-end breakdown of Figure 13 (quantum execution, quantum-host
+// communication, pulse generation, host computation) and the per-
+// instruction communication breakdown of Figure 14.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"qtenon/internal/sim"
+)
+
+// Breakdown attributes end-to-end time to the paper's four categories.
+type Breakdown struct {
+	Quantum  sim.Time // quantum execution (chip busy)
+	Comm     sim.Time // quantum-host communication
+	PulseGen sim.Time // pulse generation
+	HostComp sim.Time // host computation
+}
+
+// Total sums the categories.
+func (b Breakdown) Total() sim.Time { return b.Quantum + b.Comm + b.PulseGen + b.HostComp }
+
+// Classical sums everything except quantum execution.
+func (b Breakdown) Classical() sim.Time { return b.Comm + b.PulseGen + b.HostComp }
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Quantum += o.Quantum
+	b.Comm += o.Comm
+	b.PulseGen += o.PulseGen
+	b.HostComp += o.HostComp
+}
+
+// Percent reports each category as a percentage of the total, in the
+// order quantum, comm, pulse, host.
+func (b Breakdown) Percent() [4]float64 {
+	t := float64(b.Total())
+	if t == 0 {
+		return [4]float64{}
+	}
+	return [4]float64{
+		100 * float64(b.Quantum) / t,
+		100 * float64(b.Comm) / t,
+		100 * float64(b.PulseGen) / t,
+		100 * float64(b.HostComp) / t,
+	}
+}
+
+// String renders the breakdown compactly.
+func (b Breakdown) String() string {
+	p := b.Percent()
+	return fmt.Sprintf("total %v (quantum %v %.1f%%, comm %v %.1f%%, pulse %v %.1f%%, host %v %.1f%%)",
+		b.Total(), b.Quantum, p[0], b.Comm, p[1], b.PulseGen, p[2], b.HostComp, p[3])
+}
+
+// CommBreakdown splits Qtenon communication time by instruction class
+// (Figure 14(b)/(d)).
+type CommBreakdown struct {
+	QSet     sim.Time
+	QUpdate  sim.Time
+	QAcquire sim.Time
+}
+
+// Total sums the classes.
+func (c CommBreakdown) Total() sim.Time { return c.QSet + c.QUpdate + c.QAcquire }
+
+// Percent reports (q_set, q_update, q_acquire) shares.
+func (c CommBreakdown) Percent() [3]float64 {
+	t := float64(c.Total())
+	if t == 0 {
+		return [3]float64{}
+	}
+	return [3]float64{
+		100 * float64(c.QSet) / t,
+		100 * float64(c.QUpdate) / t,
+		100 * float64(c.QAcquire) / t,
+	}
+}
+
+// RunResult is one full optimization run on either system.
+type RunResult struct {
+	Breakdown   Breakdown
+	Comm        CommBreakdown // Qtenon only; zero for the baseline
+	History     []float64     // cost after each optimizer iteration
+	Evaluations int
+	// InstructionCount is the number of quantum-side ISA operations
+	// issued (Table 1 accounting).
+	InstructionCount int
+	// HostActivity and CommActivity include work hidden under the quantum
+	// shadow (Qtenon only; the sequential baseline hides nothing, so its
+	// activity equals its breakdown).
+	HostActivity sim.Time
+	CommActivity sim.Time
+	// PulsesGenerated counts pulse syntheses actually performed (Table 5's
+	// computation requirement).
+	PulsesGenerated int64
+	// SLTHitRate is the fraction of skip-lookup-table queries served
+	// without synthesis (Qtenon only).
+	SLTHitRate float64
+}
+
+// Speedup compares two run durations.
+func Speedup(baseline, improved sim.Time) float64 {
+	if improved <= 0 {
+		return 0
+	}
+	return float64(baseline) / float64(improved)
+}
+
+// Table is a minimal fixed-width text table builder for the bench CLI.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qtenon/internal/sim"
+)
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{Quantum: 10 * sim.Millisecond, Comm: 5 * sim.Millisecond,
+		PulseGen: 3 * sim.Millisecond, HostComp: 2 * sim.Millisecond}
+	if b.Total() != 20*sim.Millisecond {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if b.Classical() != 10*sim.Millisecond {
+		t.Errorf("Classical = %v", b.Classical())
+	}
+	p := b.Percent()
+	if p[0] != 50 || p[1] != 25 || p[2] != 15 || p[3] != 10 {
+		t.Errorf("Percent = %v", p)
+	}
+	var z Breakdown
+	if z.Percent() != [4]float64{} {
+		t.Error("zero breakdown percent nonzero")
+	}
+	z.Add(b)
+	z.Add(b)
+	if z.Total() != 40*sim.Millisecond {
+		t.Errorf("after Add×2 total = %v", z.Total())
+	}
+}
+
+func TestCommBreakdown(t *testing.T) {
+	c := CommBreakdown{QSet: 2 * sim.Microsecond, QUpdate: sim.Microsecond, QAcquire: 7 * sim.Microsecond}
+	if c.Total() != 10*sim.Microsecond {
+		t.Errorf("Total = %v", c.Total())
+	}
+	p := c.Percent()
+	if math.Abs(p[0]-20) > 1e-9 || math.Abs(p[1]-10) > 1e-9 || math.Abs(p[2]-70) > 1e-9 {
+		t.Errorf("Percent = %v", p)
+	}
+	if (CommBreakdown{}).Percent() != [3]float64{} {
+		t.Error("zero comm percent nonzero")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100*sim.Millisecond, 10*sim.Millisecond); got != 10 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if got := Speedup(sim.Second, 0); got != 0 {
+		t.Errorf("Speedup(x, 0) = %v", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Quantum: sim.Millisecond}
+	s := b.String()
+	if !strings.Contains(s, "quantum") || !strings.Contains(s, "100.0%") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("beta-very-long-name", 42)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "3.142") {
+		t.Errorf("float formatting: %q", lines[2])
+	}
+	// Aligned columns: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	if !strings.Contains(lines[3][idx:], "42") {
+		t.Errorf("column alignment broken:\n%s", out)
+	}
+}

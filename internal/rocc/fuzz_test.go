@@ -1,0 +1,31 @@
+package rocc
+
+import "testing"
+
+// FuzzDecode checks the decoder never panics and that every word it
+// accepts re-encodes to the canonical form of itself.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(Opcode))
+	f.Add(uint32(0))
+	f.Add(uint32(0xffffffff))
+	for _, in := range []Instruction{QUpdate(1, 2), QSet(3, 4), QAcquire(5, 6), QGen(7), QRun(8, 9)} {
+		w, _ := in.Encode()
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		back, err := in.Encode()
+		if err != nil {
+			t.Fatalf("decoded instruction failed to encode: %+v: %v", in, err)
+		}
+		// Encode produces the canonical word: decoding it again must give
+		// the same instruction.
+		again, err := Decode(back)
+		if err != nil || again != in {
+			t.Fatalf("canonical round trip broken: %#x → %+v → %#x → %+v", w, in, back, again)
+		}
+	})
+}

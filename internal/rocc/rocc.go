@@ -1,0 +1,188 @@
+// Package rocc implements Qtenon's RISC-V RoCC extension ISA: the 32-bit
+// instruction encoding of Figure 8(a), the five custom instructions of
+// Table 3 (q_update, q_set, q_acquire, q_gen, q_run), and the 64-bit rs2
+// operand packing of Figure 8(b) (39-bit quantum address + 25-bit length).
+//
+// Bit layout of the custom-0 RoCC instruction word, from Figure 8(a)
+// (low bit on the right, widths in parentheses):
+//
+//	funct7(7) | rs2(5) | rs1(5) | xd(1) | xs1(1) | xs2(1) | rd(5) | opcode(7)
+//
+// The funct7 field (called roccinst in the paper) selects the Qtenon
+// operation; opcode is the fixed custom-0 major opcode 0001011.
+package rocc
+
+import "fmt"
+
+// Opcode is the RISC-V custom-0 major opcode all Qtenon instructions use.
+const Opcode = 0b0001011
+
+// Funct identifies a Qtenon operation in the funct7/roccinst field.
+type Funct uint8
+
+// The five Qtenon instructions (Table 3).
+const (
+	FnQUpdate  Funct = 0 // host register → quantum controller cache
+	FnQSet     Funct = 1 // host memory → quantum controller cache
+	FnQAcquire Funct = 2 // quantum controller cache → host memory
+	FnQGen     Funct = 3 // generate pulses
+	FnQRun     Funct = 4 // run quantum program for rs1 shots
+	numFuncts  Funct = 5
+)
+
+var functNames = [numFuncts]string{"q_update", "q_set", "q_acquire", "q_gen", "q_run"}
+
+// String returns the assembly mnemonic.
+func (f Funct) String() string {
+	if f < numFuncts {
+		return functNames[f]
+	}
+	return fmt.Sprintf("funct(%d)", uint8(f))
+}
+
+// FunctByName resolves a mnemonic. ok is false for unknown names.
+func FunctByName(name string) (Funct, bool) {
+	for f, n := range functNames {
+		if n == name {
+			return Funct(f), true
+		}
+	}
+	return 0, false
+}
+
+// Instruction is a decoded RoCC instruction word.
+type Instruction struct {
+	Funct Funct
+	RD    uint8 // destination register, 5 bits
+	RS1   uint8 // source register 1, 5 bits
+	RS2   uint8 // source register 2, 5 bits
+	XD    bool  // rd is written
+	XS1   bool  // rs1 is read
+	XS2   bool  // rs2 is read
+}
+
+// Encode packs the instruction into a 32-bit word.
+func (in Instruction) Encode() (uint32, error) {
+	if in.Funct >= numFuncts {
+		return 0, fmt.Errorf("rocc: invalid funct %d", in.Funct)
+	}
+	if in.RD > 31 || in.RS1 > 31 || in.RS2 > 31 {
+		return 0, fmt.Errorf("rocc: register index out of range (rd=%d rs1=%d rs2=%d)", in.RD, in.RS1, in.RS2)
+	}
+	w := uint32(Opcode)
+	w |= uint32(in.RD) << 7
+	w |= b2u(in.XS2) << 12
+	w |= b2u(in.XS1) << 13
+	w |= b2u(in.XD) << 14
+	w |= uint32(in.RS1) << 15
+	w |= uint32(in.RS2) << 20
+	w |= uint32(in.Funct) << 25
+	return w, nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Decode unpacks a 32-bit word. It rejects words whose major opcode is
+// not custom-0 or whose funct is not a Qtenon operation.
+func Decode(w uint32) (Instruction, error) {
+	if w&0x7f != Opcode {
+		return Instruction{}, fmt.Errorf("rocc: opcode %#b is not custom-0", w&0x7f)
+	}
+	in := Instruction{
+		RD:    uint8(w >> 7 & 0x1f),
+		XS2:   w>>12&1 == 1,
+		XS1:   w>>13&1 == 1,
+		XD:    w>>14&1 == 1,
+		RS1:   uint8(w >> 15 & 0x1f),
+		RS2:   uint8(w >> 20 & 0x1f),
+		Funct: Funct(w >> 25 & 0x7f),
+	}
+	if in.Funct >= numFuncts {
+		return Instruction{}, fmt.Errorf("rocc: unknown funct %d", in.Funct)
+	}
+	return in, nil
+}
+
+// Operand packing (Figure 8(b)): q_set and q_acquire carry a transfer
+// descriptor in register rs2 — the low 39 bits are the quantum address
+// and the high 25 bits the element count.
+
+// QAddrBits is the width of a quantum address; the paper's scalability
+// analysis (§7.5) cites a 2^39 QAddress space.
+const QAddrBits = 39
+
+// LengthBits is the width of the transfer length field.
+const LengthBits = 64 - QAddrBits
+
+// MaxQAddr and MaxLength bound the packed fields.
+const (
+	MaxQAddr  = 1<<QAddrBits - 1
+	MaxLength = 1<<LengthBits - 1
+)
+
+// PackTransfer builds the rs2 operand for q_set/q_acquire.
+func PackTransfer(qaddr uint64, length uint32) (uint64, error) {
+	if qaddr > MaxQAddr {
+		return 0, fmt.Errorf("rocc: quantum address %#x exceeds %d bits", qaddr, QAddrBits)
+	}
+	if uint64(length) > MaxLength {
+		return 0, fmt.Errorf("rocc: transfer length %d exceeds %d bits", length, LengthBits)
+	}
+	return qaddr | uint64(length)<<QAddrBits, nil
+}
+
+// UnpackTransfer splits an rs2 transfer operand.
+func UnpackTransfer(rs2 uint64) (qaddr uint64, length uint32) {
+	return rs2 & MaxQAddr, uint32(rs2 >> QAddrBits)
+}
+
+// Convenience constructors for each instruction, encoding the register
+// usage conventions of Table 3 / Figure 8.
+
+// QUpdate moves the 64-bit value in register rs2 to the quantum address
+// held in register rs1 (datapath ❶).
+func QUpdate(rs1, rs2 uint8) Instruction {
+	return Instruction{Funct: FnQUpdate, RS1: rs1, RS2: rs2, XS1: true, XS2: true}
+}
+
+// QSet copies `length` words from the classical address in rs1 to the
+// quantum address packed in rs2 (datapath ❷, host memory → QCC).
+func QSet(rs1, rs2 uint8) Instruction {
+	return Instruction{Funct: FnQSet, RS1: rs1, RS2: rs2, XS1: true, XS2: true}
+}
+
+// QAcquire copies from the quantum address packed in rs2 to the classical
+// address in rs1 (datapath ❷, QCC → host memory).
+func QAcquire(rs1, rs2 uint8) Instruction {
+	return Instruction{Funct: FnQAcquire, RS1: rs1, RS2: rs2, XS1: true, XS2: true}
+}
+
+// QGen triggers pulse generation over the program range packed in rs2.
+func QGen(rs2 uint8) Instruction {
+	return Instruction{Funct: FnQGen, RS2: rs2, XS2: true}
+}
+
+// QRun executes the quantum program for the shot count in rs1, writing a
+// completion token to rd.
+func QRun(rs1, rd uint8) Instruction {
+	return Instruction{Funct: FnQRun, RS1: rs1, RD: rd, XS1: true, XD: true}
+}
+
+// String renders the instruction in assembly form.
+func (in Instruction) String() string {
+	switch in.Funct {
+	case FnQUpdate, FnQSet, FnQAcquire:
+		return fmt.Sprintf("%s x%d, x%d", in.Funct, in.RS1, in.RS2)
+	case FnQGen:
+		return fmt.Sprintf("%s x%d", in.Funct, in.RS2)
+	case FnQRun:
+		return fmt.Sprintf("%s x%d, x%d", in.Funct, in.RD, in.RS1)
+	default:
+		return fmt.Sprintf("%s rd=%d rs1=%d rs2=%d", in.Funct, in.RD, in.RS1, in.RS2)
+	}
+}

@@ -1,0 +1,172 @@
+package rocc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Instruction{
+		QUpdate(3, 7),
+		QSet(10, 11),
+		QAcquire(12, 13),
+		QGen(5),
+		QRun(8, 9),
+		{Funct: FnQRun, RD: 31, RS1: 31, RS2: 31, XD: true, XS1: true, XS2: true},
+	}
+	for _, in := range tests {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if w&0x7f != Opcode {
+			t.Errorf("%v: opcode field = %#b", in, w&0x7f)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#x): %v", w, err)
+		}
+		if back != in {
+			t.Errorf("round trip: %+v != %+v", back, in)
+		}
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	if _, err := (Instruction{Funct: 99}).Encode(); err == nil {
+		t.Error("Encode accepted invalid funct")
+	}
+	if _, err := (Instruction{Funct: FnQGen, RS2: 32}).Encode(); err == nil {
+		t.Error("Encode accepted register index 32")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	if _, err := Decode(0x00000033); err == nil { // OP opcode, not custom-0
+		t.Error("Decode accepted non-custom-0 word")
+	}
+	// custom-0 opcode but funct7 = 99.
+	w := uint32(Opcode) | uint32(99)<<25
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode accepted unknown funct")
+	}
+}
+
+func TestFunctNames(t *testing.T) {
+	wantNames := map[Funct]string{
+		FnQUpdate: "q_update", FnQSet: "q_set", FnQAcquire: "q_acquire",
+		FnQGen: "q_gen", FnQRun: "q_run",
+	}
+	for f, name := range wantNames {
+		if f.String() != name {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), name)
+		}
+		back, ok := FunctByName(name)
+		if !ok || back != f {
+			t.Errorf("FunctByName(%q) = %v,%v", name, back, ok)
+		}
+	}
+	if _, ok := FunctByName("q_bogus"); ok {
+		t.Error("FunctByName accepted unknown mnemonic")
+	}
+}
+
+func TestRegisterUsageConventions(t *testing.T) {
+	// Table 3 semantics: data movement reads both sources; q_gen reads
+	// only rs2; q_run reads rs1 and writes rd.
+	if in := QUpdate(1, 2); !in.XS1 || !in.XS2 || in.XD {
+		t.Errorf("QUpdate flags = %+v", in)
+	}
+	if in := QGen(4); in.XS1 || !in.XS2 || in.XD {
+		t.Errorf("QGen flags = %+v", in)
+	}
+	if in := QRun(1, 2); !in.XS1 || in.XS2 || !in.XD {
+		t.Errorf("QRun flags = %+v", in)
+	}
+}
+
+func TestPackTransfer(t *testing.T) {
+	rs2, err := PackTransfer(0x80000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qaddr, length := UnpackTransfer(rs2)
+	if qaddr != 0x80000 || length != 1024 {
+		t.Errorf("unpack = %#x,%d", qaddr, length)
+	}
+	// Limits.
+	if _, err := PackTransfer(MaxQAddr, MaxLength); err != nil {
+		t.Errorf("max values rejected: %v", err)
+	}
+	if _, err := PackTransfer(MaxQAddr+1, 0); err == nil {
+		t.Error("oversized qaddr accepted")
+	}
+	if _, err := PackTransfer(0, MaxLength+1); err == nil {
+		t.Error("oversized length accepted")
+	}
+}
+
+func TestQAddrSpaceMatchesPaper(t *testing.T) {
+	// §7.5: "The address space of the QAddress is 2^39."
+	if QAddrBits != 39 {
+		t.Errorf("QAddrBits = %d, want 39", QAddrBits)
+	}
+	if LengthBits != 25 {
+		t.Errorf("LengthBits = %d, want 25", LengthBits)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	tests := []struct {
+		in   Instruction
+		want string
+	}{
+		{QUpdate(3, 7), "q_update x3, x7"},
+		{QSet(1, 2), "q_set x1, x2"},
+		{QAcquire(4, 5), "q_acquire x4, x5"},
+		{QGen(6), "q_gen x6"},
+		{QRun(8, 9), "q_run x9, x8"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// Property: any valid instruction round-trips bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(funct, rd, rs1, rs2 uint8, xd, xs1, xs2 bool) bool {
+		in := Instruction{
+			Funct: Funct(funct % uint8(numFuncts)),
+			RD:    rd % 32, RS1: rs1 % 32, RS2: rs2 % 32,
+			XD: xd, XS1: xs1, XS2: xs2,
+		}
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := Decode(w)
+		return err == nil && back == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer operands round-trip for any in-range values.
+func TestTransferRoundTripProperty(t *testing.T) {
+	f := func(qaddr uint64, length uint32) bool {
+		qaddr &= MaxQAddr
+		length &= MaxLength
+		rs2, err := PackTransfer(qaddr, length)
+		if err != nil {
+			return false
+		}
+		a, l := UnpackTransfer(rs2)
+		return a == qaddr && l == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import "container/heap"
+
+// Engine is a discrete-event simulator. Events are closures scheduled at
+// absolute virtual times; Run executes them in timestamp order (FIFO
+// within a timestamp). Engine is not safe for concurrent use; the entire
+// simulation runs single-threaded, which keeps it deterministic.
+//
+// The zero Engine is ready to use.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nexec  uint64
+	halted bool
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+func (e *Engine) push(at Time, f func()) {
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: f})
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.nexec }
+
+// Pending reports the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after the given delay. A negative delay panics:
+// causality violations are always bugs in the caller.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic("sim: negative event delay")
+	}
+	e.push(e.now+delay, fn)
+}
+
+// At runs fn at the absolute time t, which must not precede Now.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.push(t, fn)
+}
+
+// Step executes the single earliest pending event and reports whether one
+// was available.
+func (e *Engine) Step() bool {
+	if e.queue.empty() {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.nexec++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called, and
+// returns the final simulated time.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps ≤ deadline, then advances the
+// clock to the deadline (even if the queue drained earlier).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
+	for !e.halted && !e.queue.empty() && e.queue.peek().at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+// Pending events remain queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Advance moves the clock forward by d without running any events.
+// It panics if an earlier event is pending — skipping events would break
+// causality silently, which is never intended.
+func (e *Engine) Advance(d Time) {
+	t := e.now + d
+	if !e.queue.empty() && e.queue.peek().at < t {
+		panic("sim: Advance would skip pending events")
+	}
+	e.now = t
+}

@@ -1,0 +1,109 @@
+package system
+
+import (
+	"testing"
+
+	"qtenon/internal/host"
+	"qtenon/internal/opt"
+	"qtenon/internal/vqa"
+)
+
+// Instruction accounting follows the ISA contract: setup issues one
+// q_set; every evaluation issues q_gen + q_run + q_acquire plus one
+// q_update per changed register.
+func TestInstructionAccounting(t *testing.T) {
+	w, err := vqa.New(vqa.QAOA, 8) // 10 parameters
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(host.Rocket())
+	cfg.Shots = 50
+	s, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First eval: q_set + q_gen + q_run + q_acquire = 4.
+	if _, err := s.Evaluate(w.InitialParams); err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions() != 4 {
+		t.Errorf("after setup eval: %d instructions, want 4", s.Instructions())
+	}
+	// Second eval with 1 changed parameter: +1 q_update +3 control = +4.
+	p := append([]float64(nil), w.InitialParams...)
+	p[3] += 0.7
+	if _, err := s.Evaluate(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions() != 8 {
+		t.Errorf("after delta eval: %d instructions, want 8", s.Instructions())
+	}
+	// Third eval with nothing changed: only the 3 control instructions.
+	if _, err := s.Evaluate(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions() != 11 {
+		t.Errorf("after no-op eval: %d instructions, want 11", s.Instructions())
+	}
+}
+
+// SLT statistics surface through the system and reflect the GD pattern:
+// parameter-shift sweeps revisit angles, so the hit rate climbs.
+func TestSLTStatsExposed(t *testing.T) {
+	w, err := vqa.New(vqa.QAOA, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(host.Rocket())
+	cfg.Shots = 50
+	s, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opt.DefaultOptions()
+	o.Iterations = 2
+	if _, err := opt.GradientDescent(s.Evaluate, w.InitialParams, o); err != nil {
+		t.Fatal(err)
+	}
+	st := s.SLTStats()
+	if st.Lookups == 0 {
+		t.Fatal("no SLT lookups recorded")
+	}
+	if st.Hits+st.QSpaceHits == 0 {
+		t.Error("GD parameter-shift produced zero SLT reuse")
+	}
+	if st.Allocs == 0 {
+		t.Error("no allocations recorded")
+	}
+}
+
+// q_update quantization dedupe: a parameter change below the 24-bit
+// angle quantum generates no traffic at all.
+func TestSubQuantumUpdateIsFree(t *testing.T) {
+	w, err := vqa.New(vqa.QAOA, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(host.Rocket())
+	cfg.Shots = 50
+	s, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(w.InitialParams); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Instructions()
+	beforePulses := s.PulsesGenerated()
+	p := append([]float64(nil), w.InitialParams...)
+	p[0] += 1e-9 // below the 2π/2^24 ≈ 3.7e-7 rad quantum
+	if _, err := s.Evaluate(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Instructions() - before; got != 3 {
+		t.Errorf("sub-quantum update issued %d instructions, want 3 (no q_update)", got)
+	}
+	if s.PulsesGenerated() != beforePulses {
+		t.Error("sub-quantum update regenerated pulses")
+	}
+}

@@ -1,0 +1,462 @@
+// Package system assembles the full Qtenon machine: a RISC-V host core
+// with the RoCC-attached quantum controller (unified memory hierarchy,
+// SLT, four-stage pulse pipeline), the TileLink system bus with RBQ/WBQ,
+// the soft memory barrier, the quantum chip behind the ADI, and the
+// software stack (incremental compilation, batched transmission,
+// fine-grained synchronization).
+//
+// Each cost evaluation executes the paper's instruction sequence —
+// q_update* → q_gen → q_run ∥ q_acquire — with cycle-level component
+// models supplying the latencies and the sched timeline computing what
+// overlaps the quantum shadow. Accounting follows the critical path:
+// exposed classical time is attributed to communication, pulse
+// generation, or host computation exactly as Figures 13–16 report it.
+package system
+
+import (
+	"fmt"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/compiler"
+	"qtenon/internal/host"
+	"qtenon/internal/mapper"
+	"qtenon/internal/opt"
+	"qtenon/internal/pipeline"
+	"qtenon/internal/qcc"
+	"qtenon/internal/quantum"
+	"qtenon/internal/report"
+	"qtenon/internal/rocc"
+	"qtenon/internal/sched"
+	"qtenon/internal/sim"
+	"qtenon/internal/slt"
+	"qtenon/internal/tilelink"
+	"qtenon/internal/trace"
+	"qtenon/internal/vqa"
+)
+
+// Config assembles a Qtenon system.
+type Config struct {
+	Core  host.Core
+	Costs host.Costs
+	Bus   tilelink.Config
+	ADI   quantum.ADI
+	Shots int
+	Seed  int64
+	// Sync selects FENCE vs fine-grained synchronization (§6.2).
+	Sync sched.SyncMode
+	// Batching enables Algorithm 1's batched transmission (§6.3).
+	Batching bool
+	// Incremental enables dynamic incremental compilation; disabling it
+	// recompiles and re-ships the whole program every evaluation
+	// ("Qtenon hardware without software", Figure 13(b)).
+	Incremental bool
+	// UseSLT enables the skip lookup table (ablation hook).
+	UseSLT bool
+	// PGUs / PGULatency configure the pulse pipeline (paper: 8 × 1000).
+	PGUs       int
+	PGULatency int64
+	// ControllerHz clocks the quantum controller (1 GHz, same as core).
+	ControllerHz int64
+	// Noise selects the chip error model; the zero value is ideal.
+	Noise quantum.Noise
+	// Coupling, when non-nil, routes the workload circuit onto the given
+	// physical connectivity (SWAP insertion via internal/mapper) before
+	// compilation — the transpilation step real hardware requires. Nil
+	// assumes all-to-all connectivity, the paper's implicit setting.
+	Coupling *mapper.Coupling
+}
+
+// DefaultConfig returns the paper's full Qtenon configuration on the
+// given host core.
+func DefaultConfig(core host.Core) Config {
+	return Config{
+		Core:         core,
+		Costs:        host.DefaultCosts(),
+		Bus:          tilelink.DefaultConfig(),
+		ADI:          quantum.DefaultADI(),
+		Shots:        500,
+		Seed:         1,
+		Sync:         sched.FineGrained,
+		Batching:     true,
+		Incremental:  true,
+		UseSLT:       true,
+		PGUs:         8,
+		PGULatency:   1000,
+		ControllerHz: 1_000_000_000,
+	}
+}
+
+// HardwareOnlyConfig returns "Qtenon w/o software" (Figure 13(b)): the
+// tightly coupled hardware with naive software — FENCE synchronization,
+// immediate per-shot transmission, and no fine-grained scheduling.
+// Incremental compilation stays on: it is a property of the .regfile
+// hardware and the program format.
+func HardwareOnlyConfig(core host.Core) Config {
+	c := DefaultConfig(core)
+	c.Sync = sched.FENCE
+	c.Batching = false
+	return c
+}
+
+// System is a Qtenon machine bound to one workload.
+type System struct {
+	cfg      Config
+	workload *vqa.Workload
+
+	cacheCfg qcc.Config
+	cache    *qcc.Cache
+	bank     *slt.Bank
+	pipe     *pipeline.Pipeline
+	chip     quantum.Executor
+	bus      *tilelink.Bus
+	rbq      *tilelink.RBQ
+	barrier  *tilelink.Barrier
+	prog     *compiler.Program
+
+	controller sim.Clock
+	cur        []float64
+	loaded     bool
+
+	// exec is the circuit actually executed (routed when Coupling is
+	// set); layout maps logical → physical qubits for outcome remapping.
+	exec   *circuit.Circuit
+	layout []int
+
+	breakdown    report.Breakdown
+	comm         report.CommBreakdown
+	instrs       int
+	evals        int
+	pulsesGen    int64
+	hostActivity sim.Time
+	commActivity sim.Time
+
+	// tracer, when set, records per-resource spans on the virtual
+	// timeline (now advances by each evaluation's wall time).
+	tracer *trace.Recorder
+	now    sim.Time
+
+	// measureCursor walks the .measure ring as shots land.
+	measureCursor int
+	// hostResultBase is the host-memory address results synchronize to.
+	hostResultBase uint64
+}
+
+// New builds a Qtenon system for the workload.
+func New(cfg Config, w *vqa.Workload) (*System, error) {
+	if cfg.Shots <= 0 {
+		return nil, fmt.Errorf("system: non-positive shot count")
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ControllerHz <= 0 {
+		return nil, fmt.Errorf("system: non-positive controller clock")
+	}
+	exec := w.Circuit
+	var layout []int
+	if cfg.Coupling != nil {
+		routed, err := mapper.Route(w.Circuit, cfg.Coupling)
+		if err != nil {
+			return nil, err
+		}
+		exec = routed.Circuit
+		layout = routed.Layout
+	}
+	cacheCfg := qcc.DefaultConfig(exec.NQubits)
+	cache, err := qcc.NewCache(cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	bank := slt.NewBank(w.NQubits(), cacheCfg.PulseEntries)
+	pcfg := pipeline.Config{
+		PGUs:       cfg.PGUs,
+		PGULatency: cfg.PGULatency,
+		UseSLT:     cfg.UseSLT,
+		Timing:     circuit.DefaultTiming(),
+	}
+	pipe, err := pipeline.New(pcfg, cache, bank)
+	if err != nil {
+		return nil, err
+	}
+	var chip quantum.Executor
+	if cfg.Noise.Enabled() {
+		chip, err = quantum.NewNoisyChip(exec.NQubits, cfg.Seed, cfg.Noise)
+	} else {
+		chip, err = quantum.NewChip(exec.NQubits, cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	busCfg := cfg.Bus
+	busCfg.Seed = cfg.Seed
+	bus, err := tilelink.NewBus(busCfg)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compiler.Compile(exec, cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:            cfg,
+		workload:       w,
+		cacheCfg:       cacheCfg,
+		cache:          cache,
+		bank:           bank,
+		pipe:           pipe,
+		chip:           chip,
+		bus:            bus,
+		rbq:            tilelink.NewRBQ(busCfg.Tags, 8, 1<<20),
+		barrier:        tilelink.NewBarrier(),
+		prog:           prog,
+		exec:           exec,
+		layout:         layout,
+		controller:     sim.NewClock(cfg.ControllerHz),
+		hostResultBase: 0x9000_0000,
+	}, nil
+}
+
+// Program exposes the compiled program (for the harness).
+func (s *System) Program() *compiler.Program { return s.prog }
+
+// SLTStats exposes aggregate skip-lookup-table statistics.
+func (s *System) SLTStats() slt.Stats { return s.bank.TotalStats() }
+
+// transferCycles runs a real bus transfer of `beats` beats and returns
+// its cycle count.
+func (s *System) transferCycles(beats int, write bool) (int64, error) {
+	if beats <= 0 {
+		return 0, nil
+	}
+	var data []uint64
+	if write {
+		data = make([]uint64, beats)
+	}
+	res, err := tilelink.Transfer(s.bus, s.rbq, s.hostResultBase, beats, write, data)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// setup performs the one-time program upload (q_set) and returns its
+// communication time.
+func (s *System) setup(params []float64) (sim.Time, error) {
+	if err := s.prog.Load(s.cache, params); err != nil {
+		return 0, err
+	}
+	bytes := s.prog.TotalEntries() * 9 // 65-bit entries on the wire
+	beats := (bytes + s.cfg.Bus.BeatBytes - 1) / s.cfg.Bus.BeatBytes
+	cycles, err := s.transferCycles(beats, true)
+	if err != nil {
+		return 0, err
+	}
+	s.instrs++ // one bulk q_set
+	t := s.controller.Cycles(cycles)
+	s.comm.QSet += t
+	s.cur = append([]float64(nil), params...)
+	s.loaded = true
+	return t, nil
+}
+
+// Evaluate runs one cost evaluation with full Qtenon accounting. It is an
+// opt.Evaluator.
+func (s *System) Evaluate(params []float64) (float64, error) {
+	s.evals++
+	nq := s.exec.NQubits
+
+	var hostPrep, commPrep sim.Time
+	if !s.loaded {
+		t, err := s.setup(params)
+		if err != nil {
+			return 0, err
+		}
+		commPrep += t
+		hostPrep += s.cfg.Core.Time(s.cfg.Costs.IncrementalCompile(len(params)))
+	} else if s.cfg.Incremental {
+		deltas, err := s.prog.Diff(s.cur, params)
+		if err != nil {
+			return 0, err
+		}
+		hostPrep += s.cfg.Core.Time(s.cfg.Costs.IncrementalCompile(len(deltas)))
+		if err := compiler.ApplyDeltas(s.cache, deltas); err != nil {
+			return 0, err
+		}
+		// q_update: one single-cycle RoCC op per changed register
+		// (datapath ❶).
+		t := sim.Time(len(deltas)) * s.controller.Cycles(host.RoCCIssueCycles)
+		commPrep += t
+		s.comm.QUpdate += t
+		s.instrs += len(deltas)
+		s.cur = append(s.cur[:0], params...)
+	} else {
+		// Software disabled: full recompile + full q_set re-upload.
+		hostPrep += s.cfg.Core.Time(s.cfg.Costs.JITCompile(s.prog.Gates))
+		if err := s.prog.Load(s.cache, params); err != nil {
+			return 0, err
+		}
+		bytes := s.prog.TotalEntries() * 9
+		beats := (bytes + s.cfg.Bus.BeatBytes - 1) / s.cfg.Bus.BeatBytes
+		cycles, err := s.transferCycles(beats, true)
+		if err != nil {
+			return 0, err
+		}
+		t := s.controller.Cycles(cycles)
+		commPrep += t
+		s.comm.QSet += t
+		s.instrs++
+		s.cur = append(s.cur[:0], params...)
+	}
+
+	// q_gen: the four-stage pipeline walks the program.
+	pipeRes, err := s.pipe.Run(s.prog.Items)
+	if err != nil {
+		return 0, err
+	}
+	s.instrs++
+	s.pulsesGen += int64(pipeRes.Generated)
+	pulsePrep := s.controller.Cycles(pipeRes.Cycles)
+
+	// q_run: execute shots; q_acquire: stream results.
+	bound := s.exec.Bind(params)
+	ex, err := s.chip.Execute(bound, s.cfg.Shots)
+	if err != nil {
+		return 0, err
+	}
+	s.instrs += 2 // q_run + q_acquire
+
+	k := 1
+	if s.cfg.Batching {
+		k = sched.BatchInterval(s.cfg.Bus.BeatBytes*8, nq)
+	}
+	batches := sched.PlanBatches(s.cfg.Shots, k)
+
+	// Deposit outcomes in .measure and mark the barrier per batch; time a
+	// representative batch transfer on the real bus.
+	wordsPerShot := (nq + 63) / 64
+	for i, o := range ex.Outcomes {
+		idx := (s.measureCursor + i*wordsPerShot) % s.cacheCfg.MeasureEntries
+		if err := s.cache.WriteMeasure(idx, o, qcc.HardwareAccess); err != nil {
+			return 0, err
+		}
+	}
+	s.measureCursor = (s.measureCursor + len(ex.Outcomes)*wordsPerShot) % s.cacheCfg.MeasureEntries
+	batchBytes := k * wordsPerShot * 8
+	beats := (batchBytes + s.cfg.Bus.BeatBytes - 1) / s.cfg.Bus.BeatBytes
+	cycles, err := s.transferCycles(beats, true)
+	if err != nil {
+		return 0, err
+	}
+	transferPerBatch := s.controller.Cycles(cycles)
+	s.barrier.MarkRange(s.hostResultBase, len(batches), uint64(batchBytes))
+
+	tl := sched.Compute(sched.TimelineInput{
+		Mode:             s.cfg.Sync,
+		HostPrep:         hostPrep,
+		CommPrep:         commPrep,
+		PulsePrep:        pulsePrep,
+		ShotTime:         ex.ShotTime + s.cfg.ADI.RoundTrip(),
+		Batches:          batches,
+		TransferPerBatch: transferPerBatch,
+		HostPerShot:      s.cfg.Core.Time(s.cfg.Costs.PostProcess(1, nq)),
+		HostPerBatch:     s.cfg.Core.Time(s.cfg.Costs.HostPerDelivery),
+		HostTail:         s.cfg.Core.Time(s.cfg.Costs.ParamUpdate(s.workload.NumParams())),
+	})
+
+	s.breakdown.Quantum += tl.Quantum
+	s.breakdown.PulseGen += tl.ExposedPulse
+	s.breakdown.HostComp += tl.ExposedHost
+	s.breakdown.Comm += tl.ExposedComm
+	s.hostActivity += tl.HostActivity
+	s.commActivity += tl.CommActivity
+
+	if s.tracer != nil {
+		t0 := s.now
+		s.tracer.Add("host", "prep", t0, t0+hostPrep)
+		s.tracer.Add("rocc/bus", "q_update/q_set", t0+hostPrep, t0+hostPrep+commPrep)
+		s.tracer.Add("pipeline", "q_gen", t0+hostPrep+commPrep, t0+hostPrep+commPrep+pulsePrep)
+		qStart := t0 + hostPrep + commPrep + pulsePrep
+		qEnd := qStart + tl.Quantum
+		s.tracer.Add("quantum", "q_run", qStart, qEnd)
+		if tail := tl.Total - (hostPrep + commPrep + pulsePrep + tl.Quantum); tail > 0 {
+			s.tracer.Add("host", "post+update", qEnd, qEnd+tail)
+		}
+	}
+	s.now += tl.Total
+	// The q_acquire share of exposed communication is whatever was not
+	// prep traffic (q_set/q_update).
+	if tail := tl.ExposedComm - commPrep; tail > 0 {
+		s.comm.QAcquire += tail
+	}
+
+	outcomes := ex.Outcomes
+	if s.layout != nil {
+		outcomes = mapper.RemapOutcomes(outcomes, s.layout)
+	}
+	return s.workload.Cost(outcomes), nil
+}
+
+// Breakdown returns accumulated end-to-end accounting.
+func (s *System) Breakdown() report.Breakdown { return s.breakdown }
+
+// Comm returns the per-instruction communication breakdown.
+func (s *System) Comm() report.CommBreakdown { return s.comm }
+
+// Evaluations reports the number of cost evaluations run.
+func (s *System) Evaluations() int { return s.evals }
+
+// Instructions reports issued Qtenon ISA operations (Table 1).
+func (s *System) Instructions() int { return s.instrs }
+
+// PulsesGenerated reports total PGU syntheses (Table 5's computation
+// requirement).
+func (s *System) PulsesGenerated() int64 { return s.pulsesGen }
+
+// SetTrace attaches a span recorder; pass nil to disable. Spans are laid
+// out on a virtual timeline that advances by each evaluation's duration.
+func (s *System) SetTrace(r *trace.Recorder) { s.tracer = r }
+
+// Now reports the virtual timeline position (total simulated time of all
+// evaluations so far).
+func (s *System) Now() sim.Time { return s.now }
+
+// HostActivity reports total host busy time including work overlapped
+// with quantum execution — Figure 16(b)'s "host computation time".
+func (s *System) HostActivity() sim.Time { return s.hostActivity }
+
+// CommActivity reports total transmission occupancy including overlapped
+// transfers.
+func (s *System) CommActivity() sim.Time { return s.commActivity }
+
+// Run executes a full optimization on a fresh system.
+func Run(cfg Config, w *vqa.Workload, useSPSA bool, o opt.Options) (report.RunResult, error) {
+	s, err := New(cfg, w)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	var res opt.Result
+	if useSPSA {
+		res, err = opt.SPSA(s.Evaluate, w.InitialParams, o)
+	} else {
+		res, err = opt.GradientDescent(s.Evaluate, w.InitialParams, o)
+	}
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	return report.RunResult{
+		Breakdown:        s.breakdown,
+		Comm:             s.comm,
+		History:          res.History,
+		Evaluations:      res.Evaluations,
+		InstructionCount: s.instrs,
+		HostActivity:     s.hostActivity,
+		CommActivity:     s.commActivity,
+		PulsesGenerated:  s.pulsesGen,
+		SLTHitRate:       s.bank.TotalStats().HitRate(),
+	}, nil
+}
+
+// Sanity hook: the RoCC encodings must stay consistent with the ISA the
+// compiler/scheduler assume. This is compile-time documentation more
+// than runtime behaviour.
+var _ = rocc.FnQRun

@@ -1,0 +1,154 @@
+package tilelink
+
+import (
+	"fmt"
+
+	"qtenon/internal/hw"
+)
+
+// RBQ is the Reorder Buffer Queue of Figure 5: one small queue per tag
+// plus a tag-order queue recording issue order. Responses enqueue into
+// their tag's queue as they arrive (out of order); Pop dequeues data in
+// the original issue order by following the tag-order queue.
+type RBQ struct {
+	perTag []*hw.Queue[uint64]
+	order  *hw.Queue[int]
+}
+
+// NewRBQ builds an RBQ for `tags` tag values with per-tag queue depth
+// `depth` and an order queue of capacity `orderDepth`.
+func NewRBQ(tags, depth, orderDepth int) *RBQ {
+	r := &RBQ{
+		perTag: make([]*hw.Queue[uint64], tags),
+		order:  hw.NewQueue[int](orderDepth),
+	}
+	for i := range r.perTag {
+		r.perTag[i] = hw.NewQueue[uint64](depth)
+	}
+	return r
+}
+
+// PushOrder records that a request with the given tag was issued; call at
+// issue time. It reports false when the order queue is full (the issuer
+// must stall).
+func (r *RBQ) PushOrder(tag int) bool { return r.order.Push(tag) }
+
+// Deliver enqueues an arrived response. It errors on unknown tags or
+// per-tag overflow, both protocol violations.
+func (r *RBQ) Deliver(tag int, data uint64) error {
+	if tag < 0 || tag >= len(r.perTag) {
+		return fmt.Errorf("tilelink: RBQ delivery with invalid tag %d", tag)
+	}
+	if !r.perTag[tag].Push(data) {
+		return fmt.Errorf("tilelink: RBQ per-tag queue %d overflow", tag)
+	}
+	return nil
+}
+
+// Pop returns the next response in issue order, if its data has arrived.
+func (r *RBQ) Pop() (data uint64, ok bool) {
+	tag, ok := r.order.Peek()
+	if !ok {
+		return 0, false
+	}
+	data, ok = r.perTag[tag].Pop()
+	if !ok {
+		return 0, false // head-of-line response not yet delivered
+	}
+	r.order.Pop()
+	return data, true
+}
+
+// Pending reports how many issued requests have not been popped.
+func (r *RBQ) Pending() int { return r.order.Len() }
+
+// WBQ is the Write Buffer Queue of Figure 5: eight parallel 32-bit
+// queues adapting wide bus beats to the 32-bit write port of the public
+// quantum controller cache. A 256-bit beat is split into eight 32-bit
+// words, one per lane; shorter writes occupy only the lanes their length
+// requires, selected by the SIndex starting lane.
+type WBQ struct {
+	lanes []*hw.Queue[uint32]
+}
+
+// WBQLanes is the paper's lane count.
+const WBQLanes = 8
+
+// NewWBQ builds a WBQ with `lanes` lanes of the given depth.
+func NewWBQ(lanes, depth int) *WBQ {
+	w := &WBQ{lanes: make([]*hw.Queue[uint32], lanes)}
+	for i := range w.lanes {
+		w.lanes[i] = hw.NewQueue[uint32](depth)
+	}
+	return w
+}
+
+// Enqueue distributes a beat's words across lanes starting at lane
+// sindex, wrapping. It reports false (and enqueues nothing) if any needed
+// lane lacks space — hardware backpressure is all-or-nothing per beat.
+func (w *WBQ) Enqueue(sindex int, words []uint32) bool {
+	if len(words) > len(w.lanes) {
+		return false
+	}
+	for i := range words {
+		if w.lanes[(sindex+i)%len(w.lanes)].Full() {
+			return false
+		}
+	}
+	for i, v := range words {
+		w.lanes[(sindex+i)%len(w.lanes)].Push(v)
+	}
+	return true
+}
+
+// DrainLane pops one word from a lane (one 32-bit write port transaction).
+func (w *WBQ) DrainLane(lane int) (uint32, bool) {
+	if lane < 0 || lane >= len(w.lanes) {
+		return 0, false
+	}
+	return w.lanes[lane].Pop()
+}
+
+// Occupancy reports total buffered words.
+func (w *WBQ) Occupancy() int {
+	n := 0
+	for _, l := range w.lanes {
+		n += l.Len()
+	}
+	return n
+}
+
+// Barrier is the soft memory barrier of §6.2: it tracks which host
+// addresses have had their PUT requests issued to the system bus, so the
+// host can query readiness non-blockingly over RoCC (single-cycle) rather
+// than executing a FENCE.
+type Barrier struct {
+	synced map[uint64]bool
+	// Queries counts barrier queries (each costs one RoCC cycle).
+	Queries int64
+}
+
+// NewBarrier returns an empty barrier.
+func NewBarrier() *Barrier { return &Barrier{synced: make(map[uint64]bool)} }
+
+// MarkSynced records that the write covering addr has been sent through
+// the system bus.
+func (b *Barrier) MarkSynced(addr uint64) { b.synced[addr] = true }
+
+// MarkRange marks a contiguous range [addr, addr+n*stride) at the given
+// stride.
+func (b *Barrier) MarkRange(addr uint64, n int, stride uint64) {
+	for i := 0; i < n; i++ {
+		b.synced[addr+uint64(i)*stride] = true
+	}
+}
+
+// Query reports whether addr is synchronized. Non-blocking; counts one
+// query transaction.
+func (b *Barrier) Query(addr uint64) bool {
+	b.Queries++
+	return b.synced[addr]
+}
+
+// Reset clears all synchronization state (new iteration).
+func (b *Barrier) Reset() { b.synced = make(map[uint64]bool) }

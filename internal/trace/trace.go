@@ -1,0 +1,171 @@
+// Package trace records spans of simulated time per hardware resource
+// and renders them as a text timeline — the observability layer for the
+// system model. A span is (resource, label, start, end); the renderer
+// draws one lane per resource, which makes overlap (or its absence,
+// under FENCE) directly visible, the way Figure 9 draws it.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qtenon/internal/sim"
+)
+
+// Span is one timed activity on a resource lane.
+type Span struct {
+	Resource string
+	Label    string
+	Start    sim.Time
+	End      sim.Time
+}
+
+// Duration reports the span length.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Recorder accumulates spans. The zero Recorder is ready; a nil
+// *Recorder is a valid no-op sink, so instrumented code never needs nil
+// checks.
+type Recorder struct {
+	spans []Span
+}
+
+// Add records a span. Calling on a nil recorder is a no-op.
+func (r *Recorder) Add(resource, label string, start, end sim.Time) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		start, end = end, start
+	}
+	r.spans = append(r.spans, Span{Resource: resource, Label: label, Start: start, End: end})
+}
+
+// Spans returns recorded spans in insertion order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Len reports the span count.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Busy sums the time a resource was occupied (overlapping spans on the
+// same resource are merged first).
+func (r *Recorder) Busy(resource string) sim.Time {
+	if r == nil {
+		return 0
+	}
+	var ivals []Span
+	for _, s := range r.spans {
+		if s.Resource == resource {
+			ivals = append(ivals, s)
+		}
+	}
+	sort.Slice(ivals, func(i, j int) bool { return ivals[i].Start < ivals[j].Start })
+	var busy sim.Time
+	var curEnd sim.Time = -1
+	var curStart sim.Time
+	for _, s := range ivals {
+		if curEnd < 0 || s.Start > curEnd {
+			if curEnd >= 0 {
+				busy += curEnd - curStart
+			}
+			curStart, curEnd = s.Start, s.End
+		} else if s.End > curEnd {
+			curEnd = s.End
+		}
+	}
+	if curEnd >= 0 {
+		busy += curEnd - curStart
+	}
+	return busy
+}
+
+// Resources lists resources in first-seen order.
+func (r *Recorder) Resources() []string {
+	if r == nil {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range r.spans {
+		if !seen[s.Resource] {
+			seen[s.Resource] = true
+			out = append(out, s.Resource)
+		}
+	}
+	return out
+}
+
+// Render draws a fixed-width timeline, one lane per resource:
+//
+//	host    |██░░░░░░██          | 2 spans, busy 40ns
+//	quantum |    ████████████    | 1 span, busy 120ns
+//
+// width is the number of timeline columns (≥ 10).
+func (r *Recorder) Render(width int) string {
+	if r.Len() == 0 {
+		return "(no spans recorded)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	var tmin, tmax sim.Time
+	first := true
+	for _, s := range r.spans {
+		if first || s.Start < tmin {
+			tmin = s.Start
+		}
+		if first || s.End > tmax {
+			tmax = s.End
+		}
+		first = false
+	}
+	span := tmax - tmin
+	if span <= 0 {
+		span = 1
+	}
+	col := func(t sim.Time) int {
+		c := int(int64(t-tmin) * int64(width) / int64(span))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	resources := r.Resources()
+	nameW := 0
+	for _, res := range resources {
+		if len(res) > nameW {
+			nameW = len(res)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline %v .. %v (%v)\n", tmin, tmax, tmax-tmin)
+	for _, res := range resources {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		count := 0
+		for _, s := range r.spans {
+			if s.Resource != res {
+				continue
+			}
+			count++
+			for c := col(s.Start); c <= col(s.End); c++ {
+				lane[c] = '#'
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s| %d span(s), busy %v\n", nameW, res, lane, count, r.Busy(res))
+	}
+	return sb.String()
+}

@@ -1,0 +1,9 @@
+package vqa
+
+import (
+	"qtenon/internal/circuit"
+	"qtenon/internal/qsim"
+)
+
+// runExact executes a bound circuit on the statevector simulator.
+func runExact(c *circuit.Circuit) (*qsim.State, error) { return qsim.Run(c) }

@@ -1,0 +1,221 @@
+package vqa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qsim"
+)
+
+func TestRegularGraph(t *testing.T) {
+	edges := RegularGraph(8)
+	// Ring (8) + chords (4) = 12 edges; every vertex has degree 3.
+	if len(edges) != 12 {
+		t.Fatalf("edges = %d, want 12", len(edges))
+	}
+	deg := make([]int, 8)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v, d := range deg {
+		if d != 3 {
+			t.Errorf("vertex %d degree = %d, want 3", v, d)
+		}
+	}
+}
+
+func TestQAOAStructure(t *testing.T) {
+	w, err := NewQAOA(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumParams() != 10 {
+		t.Errorf("params = %d, want 10 (2 per layer)", w.NumParams())
+	}
+	if w.NQubits() != 8 {
+		t.Errorf("qubits = %d", w.NQubits())
+	}
+	ct := w.Circuit.Count()
+	// 8 H + 5×12 RZZ + 5×8 RX + 8 measures.
+	if ct.TwoQubit != 60 {
+		t.Errorf("two-qubit gates = %d, want 60", ct.TwoQubit)
+	}
+	if ct.OneQubit != 8+40 {
+		t.Errorf("one-qubit gates = %d, want 48", ct.OneQubit)
+	}
+	if ct.Measure != 8 {
+		t.Errorf("measures = %d", ct.Measure)
+	}
+}
+
+func TestQAOACostMatchesCutValue(t *testing.T) {
+	w, _ := NewQAOA(4, 1)
+	// All-zero outcomes cut nothing; alternating cut maximizes ring edges.
+	if got := w.Cost([]uint64{0, 0}); got != 0 {
+		t.Errorf("cost(00..) = %v", got)
+	}
+	// 0b0101: ring edges all cut (4), chords (0,2),(1,3) not cut → cut=4.
+	if got := w.Cost([]uint64{0b0101}); got != -4 {
+		t.Errorf("cost(0101) = %v, want -4", got)
+	}
+	if got := w.Cost(nil); got != 0 {
+		t.Errorf("cost(empty) = %v", got)
+	}
+}
+
+func TestQAOACostAgreesWithHamiltonian(t *testing.T) {
+	// Sampled cost and exact ⟨H⟩ agree for a bound small instance.
+	w, _ := NewQAOA(6, 2)
+	params := make([]float64, w.NumParams())
+	for i := range params {
+		params[i] = 0.3 + 0.1*float64(i)
+	}
+	bound := w.Circuit.Bind(params)
+	st, err := qsim.Run(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := w.Hamiltonian.Expectation(st)
+	rng := rand.New(rand.NewSource(6))
+	sampled := w.Cost(st.Sample(60000, rng))
+	if math.Abs(exact-sampled) > 0.08 {
+		t.Errorf("exact %v vs sampled %v", exact, sampled)
+	}
+}
+
+func TestVQEStructure(t *testing.T) {
+	w, err := NewVQE(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumParams() != 24 {
+		t.Errorf("params = %d, want 24 (nq×layers)", w.NumParams())
+	}
+	if w.FullHamiltonian == nil || w.Hamiltonian == nil {
+		t.Fatal("VQE missing Hamiltonians")
+	}
+	// Diagonal part contains no X/Y terms.
+	for _, term := range w.Hamiltonian.Terms {
+		if !term.Str.ZBasisOnly() {
+			t.Errorf("diagonal Hamiltonian has term %v", term.Str)
+		}
+	}
+	// Full has strictly more terms.
+	if len(w.FullHamiltonian.Terms) <= len(w.Hamiltonian.Terms) {
+		t.Error("full Hamiltonian not larger than diagonal")
+	}
+}
+
+func TestVQECostConsistency(t *testing.T) {
+	w, _ := NewVQE(4, 2)
+	bound := w.Circuit.Bind(w.InitialParams)
+	st, err := qsim.Run(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := w.Hamiltonian.Expectation(st)
+	rng := rand.New(rand.NewSource(7))
+	sampled := w.Cost(st.Sample(60000, rng))
+	if math.Abs(exact-sampled) > 0.1 {
+		t.Errorf("exact %v vs sampled %v", exact, sampled)
+	}
+	viaExactCost, err := w.ExactCost(w.InitialParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(viaExactCost-exact) > 1e-9 {
+		t.Errorf("ExactCost %v vs direct %v", viaExactCost, exact)
+	}
+}
+
+func TestQNNStructure(t *testing.T) {
+	w, err := NewQNN(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumParams() != 16 {
+		t.Errorf("params = %d, want 16", w.NumParams())
+	}
+	// Loss is bounded in [0,4] and zero when all outcomes are |0⟩ on q0.
+	if got := w.Cost([]uint64{0, 0, 0}); got != 0 {
+		t.Errorf("cost(all zero bit0) = %v", got)
+	}
+	if got := w.Cost([]uint64{1, 1}); got != 4 {
+		t.Errorf("cost(all one bit0) = %v, want 4", got)
+	}
+}
+
+func TestParamCountOrdering64(t *testing.T) {
+	// The paper's communication analysis relies on params(QAOA) ≪
+	// params(QNN) < params(VQE) at 64 qubits.
+	qaoa, _ := New(QAOA, 64)
+	vqe, _ := New(VQE, 64)
+	qnn, _ := New(QNN, 64)
+	if !(qaoa.NumParams() < qnn.NumParams() && qnn.NumParams() < vqe.NumParams()) {
+		t.Errorf("param counts: QAOA=%d QNN=%d VQE=%d, want ascending",
+			qaoa.NumParams(), qnn.NumParams(), vqe.NumParams())
+	}
+	if qaoa.NumParams() != 10 {
+		t.Errorf("QAOA-64 params = %d, want 10", qaoa.NumParams())
+	}
+	if vqe.NumParams() != 192 {
+		t.Errorf("VQE-64 params = %d, want 192", vqe.NumParams())
+	}
+	if qnn.NumParams() != 128 {
+		t.Errorf("QNN-64 params = %d, want 128", qnn.NumParams())
+	}
+}
+
+func TestNewDispatchAndErrors(t *testing.T) {
+	for _, k := range Kinds() {
+		w, err := New(k, 8)
+		if err != nil {
+			t.Errorf("New(%v): %v", k, err)
+			continue
+		}
+		if w.Kind != k {
+			t.Errorf("kind = %v, want %v", w.Kind, k)
+		}
+		if err := w.Circuit.Validate(); err != nil {
+			t.Errorf("%v circuit invalid: %v", k, err)
+		}
+		if len(w.InitialParams) != w.NumParams() {
+			t.Errorf("%v initial params length mismatch", k)
+		}
+	}
+	if _, err := New(Kind(99), 8); err == nil {
+		t.Error("New accepted unknown kind")
+	}
+	if _, err := NewQAOA(1, 5); err == nil {
+		t.Error("NewQAOA accepted 1 qubit")
+	}
+	if _, err := NewVQE(4, 0); err == nil {
+		t.Error("NewVQE accepted 0 layers")
+	}
+	if _, err := NewQNN(1, 2); err == nil {
+		t.Error("NewQNN accepted 1 qubit")
+	}
+}
+
+func TestWorkloadsEndInMeasurement(t *testing.T) {
+	for _, k := range Kinds() {
+		w, _ := New(k, 6)
+		ct := w.Circuit.Count()
+		if ct.Measure != 6 {
+			t.Errorf("%v measures = %d, want 6", k, ct.Measure)
+		}
+		// All measures come last.
+		sawMeasure := false
+		for _, g := range w.Circuit.Gates {
+			if g.Kind == circuit.Measure {
+				sawMeasure = true
+			} else if sawMeasure {
+				t.Errorf("%v has gate after measurement", k)
+				break
+			}
+		}
+	}
+}

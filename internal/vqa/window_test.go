@@ -1,0 +1,76 @@
+package vqa
+
+import (
+	"testing"
+)
+
+// Beyond 64 qubits, cost functions evaluate on the measurement window
+// (DESIGN.md substitution): they must stay finite, deterministic, and
+// parameter-sensitive so large-scale sweeps drive realistic traffic.
+func TestWideWorkloadsCostOnWindow(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			w, err := New(k, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.NQubits() != 128 {
+				t.Fatalf("NQubits = %d", w.NQubits())
+			}
+			// Outcomes only carry 64 bits; cost must not index beyond.
+			outcomes := []uint64{0, ^uint64(0), 0xdeadbeefcafebabe}
+			c := w.Cost(outcomes)
+			if c != c { // NaN check
+				t.Errorf("cost is NaN")
+			}
+			again := w.Cost(outcomes)
+			if c != again {
+				t.Errorf("cost not deterministic: %v vs %v", c, again)
+			}
+		})
+	}
+}
+
+func TestWideQAOAEdgeFiltering(t *testing.T) {
+	w, err := NewQAOA(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The circuit keeps ALL edges (the quantum side is full width)...
+	ct := w.Circuit.Count()
+	fullEdges := len(RegularGraph(128))
+	if ct.TwoQubit != 2*fullEdges {
+		t.Errorf("two-qubit gates = %d, want %d (2 layers × %d edges)", ct.TwoQubit, 2*fullEdges, fullEdges)
+	}
+	// ...but an all-ones outcome word only scores window edges: cost of
+	// outcome 0 (no cut) must be exactly 0, and the best possible cost is
+	// bounded by the window edge count.
+	if got := w.Cost([]uint64{0}); got != 0 {
+		t.Errorf("cost(0) = %v", got)
+	}
+	windowEdges := 0
+	for _, e := range RegularGraph(128) {
+		if e[0] < CostWindow && e[1] < CostWindow {
+			windowEdges++
+		}
+	}
+	if got := w.Cost([]uint64{0x5555555555555555}); got < -float64(windowEdges) {
+		t.Errorf("cost below window bound: %v < -%d", got, windowEdges)
+	}
+}
+
+// The 64-qubit boundary itself is NOT windowed: everything still counts.
+func TestExactly64NotWindowed(t *testing.T) {
+	w, err := NewQAOA(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := len(w.Edges)
+	// Alternating pattern cuts every ring edge; verify the cost uses all
+	// 64 qubits (ring 64 edges cut, chords not → -64).
+	got := w.Cost([]uint64{0x5555555555555555})
+	if got > -60 {
+		t.Errorf("cost = %v; 64-qubit workload appears windowed (edges %d)", got, edges)
+	}
+}
