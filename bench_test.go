@@ -6,12 +6,14 @@ package qtenon
 // produced by `go run ./cmd/qtenon-bench`.
 
 import (
+	"math/rand"
 	"testing"
 
 	"qtenon/internal/bench"
 	"qtenon/internal/circuit"
 	"qtenon/internal/host"
 	"qtenon/internal/opt"
+	"qtenon/internal/par"
 	"qtenon/internal/qsim"
 	"qtenon/internal/slt"
 	"qtenon/internal/system"
@@ -59,6 +61,69 @@ func BenchmarkStatevector12Qubit(b *testing.B) {
 		if _, err := qsim.Run(bound); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchApply1Q measures the single-qubit gate kernel on a 20-qubit
+// statevector (2^20 amplitudes) under a fixed worker-pool width;
+// workers == 1 is the serial seed kernel, 0 uses every core.
+func benchApply1Q(b *testing.B, workers int) {
+	par.SetWorkers(workers)
+	defer par.SetWorkers(0)
+	s := qsim.NewState(20)
+	g := circuit.Gate{Kind: circuit.H, Qubit: 9, Param: circuit.NoParam}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(g)
+	}
+}
+
+func BenchmarkApply1QSerial(b *testing.B)   { benchApply1Q(b, 1) }
+func BenchmarkApply1QParallel(b *testing.B) { benchApply1Q(b, 0) }
+
+// BenchmarkStatevector20Qubit runs a full 20-qubit QAOA circuit through
+// the fused parallel engine plus one sampling pass — the per-evaluation
+// hot path of every exact-backend experiment.
+func BenchmarkStatevector20Qubit(b *testing.B) {
+	w, err := vqa.NewQAOA(20, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := w.Circuit.Bind(w.InitialParams)
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := qsim.Run(bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Sample(500, rng)
+	}
+}
+
+// BenchmarkStatevector20QubitSerial is the same workload pinned to one
+// worker — the before/after pair for the parallel engine.
+func BenchmarkStatevector20QubitSerial(b *testing.B) {
+	par.SetWorkers(1)
+	defer par.SetWorkers(0)
+	BenchmarkStatevector20Qubit(b)
+}
+
+// BenchmarkSampleCached measures repeated sampling of an unchanged
+// state: the alias table is built once, so each iteration is O(shots).
+func BenchmarkSampleCached(b *testing.B) {
+	w, err := vqa.NewQAOA(16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := qsim.Run(w.Circuit.Bind(w.InitialParams))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Sample(500, rng)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"qtenon/internal/baseline"
 	"qtenon/internal/host"
 	"qtenon/internal/opt"
+	"qtenon/internal/par"
 	"qtenon/internal/report"
 	"qtenon/internal/system"
 	"qtenon/internal/vqa"
@@ -102,6 +103,22 @@ func runBaseline(kind vqa.Kind, nq int, spsa bool, sc Scale) (report.RunResult, 
 	cfg := baseline.DefaultConfig()
 	cfg.Shots = sc.Shots()
 	return baseline.Run(cfg, w, spsa, sc.options())
+}
+
+// forEachPoint evaluates fn(i) for every sweep point, fanning the
+// independent points across the worker pool. Each point builds its own
+// workload and system, so points share no state; callers store results
+// by index, which keeps output row order deterministic regardless of
+// completion order. The first error (by point index) is returned.
+func forEachPoint(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	par.Do(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func optimizerName(spsa bool) string {

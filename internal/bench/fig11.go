@@ -38,30 +38,50 @@ func Figure12(sc Scale) (string, error) {
 	return formatSweep(rows, true), nil
 }
 
-// SweepRows computes the Figure 11/12 data points.
+// SweepRows computes the Figure 11/12 data points. The (workload ×
+// qubit-count) grid points are independent full optimizations, so they
+// fan out across the worker pool; rows are assembled by grid index, so
+// the output order matches the serial sweep exactly.
 func SweepRows(sc Scale, spsa bool) ([]SweepRow, error) {
 	cores := []host.Core{host.Rocket(), host.BoomL()}
-	var rows []SweepRow
+	type point struct {
+		k  vqa.Kind
+		nq int
+	}
+	var points []point
 	for _, k := range vqa.Kinds() {
 		for _, nq := range sc.SweepQubits() {
-			base, err := runBaseline(k, nq, spsa, sc)
-			if err != nil {
-				return nil, err
-			}
-			for _, core := range cores {
-				qt, err := runQtenon(k, nq, core, spsa, sc)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, SweepRow{
-					Workload:  k,
-					Qubits:    nq,
-					Core:      core.Name,
-					Classical: report.Speedup(base.Breakdown.Classical(), qt.Breakdown.Classical()),
-					EndToEnd:  report.Speedup(base.Breakdown.Total(), qt.Breakdown.Total()),
-				})
-			}
+			points = append(points, point{k, nq})
 		}
+	}
+	perPoint := make([][]SweepRow, len(points))
+	err := forEachPoint(len(points), func(i int) error {
+		pt := points[i]
+		base, err := runBaseline(pt.k, pt.nq, spsa, sc)
+		if err != nil {
+			return err
+		}
+		for _, core := range cores {
+			qt, err := runQtenon(pt.k, pt.nq, core, spsa, sc)
+			if err != nil {
+				return err
+			}
+			perPoint[i] = append(perPoint[i], SweepRow{
+				Workload:  pt.k,
+				Qubits:    pt.nq,
+				Core:      core.Name,
+				Classical: report.Speedup(base.Breakdown.Classical(), qt.Breakdown.Classical()),
+				EndToEnd:  report.Speedup(base.Breakdown.Total(), qt.Breakdown.Total()),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, pr := range perPoint {
+		rows = append(rows, pr...)
 	}
 	return rows, nil
 }

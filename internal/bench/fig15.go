@@ -18,24 +18,37 @@ func Figure15(sc Scale) (string, error) {
 	var sb strings.Builder
 	sb.WriteString(header(fmt.Sprintf("Figure 15: host execution time, %d qubits", nq)))
 
-	for _, spsa := range []bool{false, true} {
+	// The (optimizer × workload) cells are independent runs: compute
+	// them across the worker pool, then render in the fixed order.
+	type cell struct {
+		base, boom, rocket report.RunResult
+	}
+	optimizers := []bool{false, true}
+	kinds := vqa.Kinds()
+	cells := make([]cell, len(optimizers)*len(kinds))
+	err := forEachPoint(len(cells), func(i int) error {
+		spsa := optimizers[i/len(kinds)]
+		k := kinds[i%len(kinds)]
+		var err error
+		if cells[i].base, err = runBaseline(k, nq, spsa, sc); err != nil {
+			return err
+		}
+		if cells[i].boom, err = runQtenon(k, nq, host.BoomL(), spsa, sc); err != nil {
+			return err
+		}
+		cells[i].rocket, err = runQtenon(k, nq, host.Rocket(), spsa, sc)
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	for oi, spsa := range optimizers {
 		tb := newTable("workload", "baseline", "Qtenon-Boom", "Qtenon-Rocket", "speedup (Boom)")
-		for _, k := range vqa.Kinds() {
-			base, err := runBaseline(k, nq, spsa, sc)
-			if err != nil {
-				return "", err
-			}
-			boom, err := runQtenon(k, nq, host.BoomL(), spsa, sc)
-			if err != nil {
-				return "", err
-			}
-			rocket, err := runQtenon(k, nq, host.Rocket(), spsa, sc)
-			if err != nil {
-				return "", err
-			}
-			tb.AddRow(k.String(), base.Breakdown.HostComp.String(),
-				boom.HostActivity.String(), rocket.HostActivity.String(),
-				fmt.Sprintf("%.0f", report.Speedup(base.Breakdown.HostComp, boom.HostActivity)))
+		for ki, k := range kinds {
+			c := cells[oi*len(kinds)+ki]
+			tb.AddRow(k.String(), c.base.Breakdown.HostComp.String(),
+				c.boom.HostActivity.String(), c.rocket.HostActivity.String(),
+				fmt.Sprintf("%.0f", report.Speedup(c.base.Breakdown.HostComp, c.boom.HostActivity)))
 		}
 		fmt.Fprintf(&sb, "-- %s --\n%s", optimizerName(spsa), tb.String())
 	}

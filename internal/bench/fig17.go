@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"qtenon/internal/host"
+	"qtenon/internal/report"
 	"qtenon/internal/sim"
 	"qtenon/internal/vqa"
 )
@@ -17,15 +18,41 @@ type ScaleRow struct {
 	Host     sim.Time
 }
 
+// scalePoints enumerates the Figure 17 grid in output order.
+func scalePoints(sc Scale) (kinds []vqa.Kind, qubits []int) {
+	return []vqa.Kind{vqa.QAOA, vqa.VQE}, sc.ScaleQubits()
+}
+
+// runScaleGrid executes every (workload × qubit-count) point of the
+// Figure 17 sweep across the worker pool, returning results indexed in
+// kind-major grid order.
+func runScaleGrid(sc Scale) ([]report.RunResult, error) {
+	kinds, qubits := scalePoints(sc)
+	results := make([]report.RunResult, len(kinds)*len(qubits))
+	err := forEachPoint(len(results), func(i int) error {
+		k := kinds[i/len(qubits)]
+		nq := qubits[i%len(qubits)]
+		var err error
+		results[i], err = runQtenon(k, nq, host.BoomL(), true, sc)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // ScaleRows computes the Figure 17 data points (SPSA, Boom core).
 func ScaleRows(sc Scale) ([]ScaleRow, error) {
+	kinds, qubits := scalePoints(sc)
+	results, err := runScaleGrid(sc)
+	if err != nil {
+		return nil, err
+	}
 	var rows []ScaleRow
-	for _, k := range []vqa.Kind{vqa.QAOA, vqa.VQE} {
-		for _, nq := range sc.ScaleQubits() {
-			res, err := runQtenon(k, nq, host.BoomL(), true, sc)
-			if err != nil {
-				return nil, err
-			}
+	for ki, k := range kinds {
+		for qi, nq := range qubits {
+			res := results[ki*len(qubits)+qi]
 			rows = append(rows, ScaleRow{Workload: k, Qubits: nq, Comm: res.Breakdown.Comm, Host: res.HostActivity})
 		}
 	}
@@ -50,10 +77,13 @@ func Figure17(sc Scale) (string, error) {
 	var sb strings.Builder
 	sb.WriteString(header("Figure 17: scalability (SPSA, Boom core)"))
 
-	kinds := []vqa.Kind{vqa.QAOA, vqa.VQE}
+	kinds, qubits := scalePoints(sc)
+	results, err := runScaleGrid(sc)
+	if err != nil {
+		return "", err
+	}
 	base := map[vqa.Kind][2]sim.Time{}
 	var detailAt int
-	qubits := sc.ScaleQubits()
 	if len(qubits) >= 4 {
 		detailAt = qubits[3] // 256 in the full sweep
 	} else {
@@ -61,12 +91,9 @@ func Figure17(sc Scale) (string, error) {
 	}
 	var detail string
 	tb := newTable("workload", "qubits", "comm time", "rel", "host time", "rel")
-	for _, k := range kinds {
-		for _, nq := range qubits {
-			res, err := runQtenon(k, nq, host.BoomL(), true, sc)
-			if err != nil {
-				return "", err
-			}
+	for ki, k := range kinds {
+		for qi, nq := range qubits {
+			res := results[ki*len(qubits)+qi]
 			comm := res.Breakdown.Comm
 			hostT := res.HostActivity
 			if _, ok := base[k]; !ok {

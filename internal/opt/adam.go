@@ -20,23 +20,12 @@ func Adam(eval Evaluator, initial []float64, o Options) (Result, error) {
 	m := make([]float64, len(params))
 	v := make([]float64, len(params))
 	grad := make([]float64, len(params))
-	shifted := make([]float64, len(params))
 	var res Result
 	for iter := 1; iter <= o.Iterations; iter++ {
-		for i := range params {
-			copy(shifted, params)
-			shifted[i] = params[i] + o.ShiftScale
-			plus, err := eval(shifted)
-			if err != nil {
-				return res, err
-			}
-			shifted[i] = params[i] - o.ShiftScale
-			minus, err := eval(shifted)
-			if err != nil {
-				return res, err
-			}
-			res.Evaluations += 2
-			grad[i] = (plus - minus) / 2
+		n, err := shiftGradient(eval, params, o.ShiftScale, o.Parallelism, grad)
+		res.Evaluations += n
+		if err != nil {
+			return res, err
 		}
 		b1t := 1 - math.Pow(beta1, float64(iter))
 		b2t := 1 - math.Pow(beta2, float64(iter))

@@ -18,9 +18,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Evaluator estimates the cost at a parameter vector.
+//
+// When Options.Parallelism > 1 the optimizers call the Evaluator from
+// multiple goroutines at once, so it must be safe for concurrent use —
+// pure functions and per-call simulator runs qualify; the stateful
+// system models (internal/system, internal/baseline) accumulate timing
+// per call and must stay on the serial default.
 type Evaluator func(params []float64) (float64, error)
 
 // Options configures an optimization run.
@@ -31,6 +38,12 @@ type Options struct {
 	SPSAa        float64 // SPSA step-size numerator
 	SPSAc        float64 // SPSA perturbation magnitude
 	Seed         int64
+	// Parallelism caps how many Evaluator calls run concurrently inside
+	// one gradient (GD/Adam's 2P parameter-shift pairs) or perturbation
+	// step (SPSA's two evals). Values ≤ 1 keep the serial evaluation
+	// order; > 1 requires a goroutine-safe Evaluator. The evaluation
+	// points, counts and resulting updates are identical either way.
+	Parallelism int
 }
 
 // DefaultOptions matches the paper's setup: 10 iterations.
@@ -62,6 +75,88 @@ func (o Options) validate(nparams int) error {
 	return nil
 }
 
+// shiftGradient fills grad with the parameter-shift estimate at params:
+// grad[i] = (E(θ+s·e_i) − E(θ−s·e_i)) / 2. The 2P evaluations run
+// serially in the historical order when parallelism ≤ 1, or fan out
+// across up to `parallelism` goroutines otherwise; the gradient is
+// assembled by index, so both paths produce identical values. It
+// returns the number of evaluations performed (2P on success).
+func shiftGradient(eval Evaluator, params []float64, shift float64, parallelism int, grad []float64) (int, error) {
+	p := len(params)
+	if parallelism <= 1 {
+		shifted := make([]float64, p)
+		for i := range params {
+			copy(shifted, params)
+			shifted[i] = params[i] + shift
+			plus, err := eval(shifted)
+			if err != nil {
+				return 2 * i, err
+			}
+			shifted[i] = params[i] - shift
+			minus, err := eval(shifted)
+			if err != nil {
+				return 2*i + 1, err
+			}
+			grad[i] = (plus - minus) / 2
+		}
+		return 2 * p, nil
+	}
+	vals := make([]float64, 2*p)
+	errs := make([]error, 2*p)
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for k := 0; k < 2*p; k++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int) {
+			defer func() { <-sem; wg.Done() }()
+			shifted := append([]float64(nil), params...)
+			i := k / 2
+			if k%2 == 0 {
+				shifted[i] = params[i] + shift
+			} else {
+				shifted[i] = params[i] - shift
+			}
+			vals[k], errs[k] = eval(shifted)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 2 * p, err
+		}
+	}
+	for i := 0; i < p; i++ {
+		grad[i] = (vals[2*i] - vals[2*i+1]) / 2
+	}
+	return 2 * p, nil
+}
+
+// evalPair evaluates two parameter vectors, concurrently when
+// parallelism > 1 — SPSA's plus/minus perturbation pair.
+func evalPair(eval Evaluator, a, b []float64, parallelism int) (va, vb float64, err error) {
+	if parallelism <= 1 {
+		if va, err = eval(a); err != nil {
+			return va, vb, err
+		}
+		vb, err = eval(b)
+		return va, vb, err
+	}
+	var errA, errB error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		va, errA = eval(a)
+	}()
+	vb, errB = eval(b)
+	wg.Wait()
+	if errA != nil {
+		return va, vb, errA
+	}
+	return va, vb, errB
+}
+
 // GradientDescent minimizes eval with the parameter-shift rule.
 func GradientDescent(eval Evaluator, initial []float64, o Options) (Result, error) {
 	if err := o.validate(len(initial)); err != nil {
@@ -69,23 +164,12 @@ func GradientDescent(eval Evaluator, initial []float64, o Options) (Result, erro
 	}
 	params := append([]float64(nil), initial...)
 	var res Result
-	shifted := make([]float64, len(params))
 	grad := make([]float64, len(params))
 	for iter := 0; iter < o.Iterations; iter++ {
-		for i := range params {
-			copy(shifted, params)
-			shifted[i] = params[i] + o.ShiftScale
-			plus, err := eval(shifted)
-			if err != nil {
-				return res, err
-			}
-			shifted[i] = params[i] - o.ShiftScale
-			minus, err := eval(shifted)
-			if err != nil {
-				return res, err
-			}
-			res.Evaluations += 2
-			grad[i] = (plus - minus) / 2
+		n, err := shiftGradient(eval, params, o.ShiftScale, o.Parallelism, grad)
+		res.Evaluations += n
+		if err != nil {
+			return res, err
 		}
 		for i := range params {
 			params[i] -= o.LearningRate * grad[i]
@@ -131,11 +215,7 @@ func SPSA(eval Evaluator, initial []float64, o Options) (Result, error) {
 			plusP[i] = params[i] + ck*delta[i]
 			minusP[i] = params[i] - ck*delta[i]
 		}
-		plus, err := eval(plusP)
-		if err != nil {
-			return res, err
-		}
-		minus, err := eval(minusP)
+		plus, minus, err := evalPair(eval, plusP, minusP, o.Parallelism)
 		if err != nil {
 			return res, err
 		}

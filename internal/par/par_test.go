@@ -1,0 +1,144 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// covers asserts body visits every index in [0, n) exactly once.
+func covers(t *testing.T, n int, launch func(mark func(i int))) {
+	t.Helper()
+	hits := make([]int32, n)
+	launch(func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, chunkSize, chunkSize + 1, SerialThreshold - 1, SerialThreshold, SerialThreshold + 3, 3 * SerialThreshold} {
+		covers(t, n, func(mark func(i int)) {
+			For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					mark(i)
+				}
+			})
+		})
+	}
+}
+
+func TestForForcedParallel(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	covers(t, 5*SerialThreshold, func(mark func(i int)) {
+		For(5*SerialThreshold, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				mark(i)
+			}
+		})
+	})
+}
+
+func TestDoCoversItems(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	for _, n := range []int{0, 1, 2, 9, 100} {
+		covers(t, n, func(mark func(i int)) {
+			Do(n, mark)
+		})
+	}
+}
+
+func TestSumFloat64MatchesSerial(t *testing.T) {
+	n := 2*SerialThreshold + 137
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1 / float64(i+1)
+	}
+	chunk := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	SetWorkers(1)
+	serial := SumFloat64(n, chunk)
+	SetWorkers(8)
+	parallel := SumFloat64(n, chunk)
+	SetWorkers(0)
+	// The chunked partition depends only on n, so serial and parallel
+	// execution produce bit-identical sums.
+	if serial != parallel {
+		t.Fatalf("SumFloat64 not deterministic across worker counts: %v vs %v", serial, parallel)
+	}
+}
+
+func TestSumComplexDeterministic(t *testing.T) {
+	n := SerialThreshold + chunkSize/2
+	chunk := func(lo, hi int) complex128 {
+		var s complex128
+		for i := lo; i < hi; i++ {
+			s += complex(float64(i%13), 1/float64(i+1))
+		}
+		return s
+	}
+	SetWorkers(1)
+	a := SumComplex(n, chunk)
+	SetWorkers(6)
+	b := SumComplex(n, chunk)
+	SetWorkers(0)
+	if a != b {
+		t.Fatalf("SumComplex not deterministic: %v vs %v", a, b)
+	}
+}
+
+// Concurrent For calls from independent goroutines must not interfere —
+// this is the shape the optimizer produces (parallel evaluations, each
+// running parallel kernels).
+func TestConcurrentJobs(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	const n = 2 * SerialThreshold
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sums := make([]float64, n)
+			For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					sums[i] = float64(i)
+				}
+			})
+			got := SumFloat64(n, func(lo, hi int) float64 {
+				var s float64
+				for i := lo; i < hi; i++ {
+					s += sums[i]
+				}
+				return s
+			})
+			want := float64(n) * float64(n-1) / 2
+			if got != want {
+				t.Errorf("sum = %v, want %v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWorkersDefault(t *testing.T) {
+	SetWorkers(0)
+	if w := Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(3)
+	if w := Workers(); w != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", w)
+	}
+	SetWorkers(0)
+}

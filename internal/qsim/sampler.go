@@ -1,0 +1,129 @@
+package qsim
+
+import (
+	"math/rand"
+
+	"qtenon/internal/par"
+)
+
+// Measurement sampling. The old implementation rebuilt an O(2^n)
+// cumulative distribution on every Sample call and binary-searched it
+// per shot. This version builds a Walker/Vose alias table once per state
+// (cached on the State, invalidated by any mutating kernel), giving O(1)
+// per shot, and draws shots in parallel over fixed-size blocks.
+//
+// Determinism: each block of sampleBlock shots gets its own RNG seeded
+// by one serial draw from the caller's RNG. The block partition depends
+// only on the shot count, so a fixed caller seed produces an identical
+// outcome stream at any GOMAXPROCS — and no worker ever touches the
+// caller's (non-concurrency-safe) *rand.Rand.
+
+// sampleBlock is the per-worker shot granularity.
+const sampleBlock = 4096
+
+// aliasTable is an immutable alias-method sampler over basis states.
+type aliasTable struct {
+	// prob[i] is the probability of keeping slot i when drawn; alias[i]
+	// is the outcome used otherwise.
+	prob  []float64
+	alias []int32
+}
+
+// newAliasTable builds the table in O(N) from an (approximately
+// normalized) distribution. Exact zeros stay impossible: a zero-weight
+// slot keeps probability 0 and always forwards to its alias.
+func newAliasTable(p []float64) *aliasTable {
+	n := len(p)
+	total := par.SumFloat64(n, func(lo, hi int) float64 {
+		var t float64
+		for _, v := range p[lo:hi] {
+			t += v
+		}
+		return t
+	})
+	if total <= 0 {
+		total = 1
+	}
+	t := &aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	scale := float64(n) / total
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, v := range p {
+		scaled[i] = v * scale
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are within rounding of probability 1.
+	for _, l := range large {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	for _, s := range small {
+		t.prob[s] = 1
+		t.alias[s] = s
+	}
+	return t
+}
+
+// draw returns one basis-state index: O(1) — one uniform slot pick plus
+// one acceptance test.
+func (t *aliasTable) draw(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// Sample draws `shots` full-register measurement outcomes (basis-state
+// indices, qubit 0 in bit 0) without collapsing the state. The alias
+// table is cached on the State, so repeated sampling of an unchanged
+// state costs O(shots) after the first call.
+//
+// rng must not be shared with other goroutines while Sample runs; it is
+// consumed only on the calling goroutine (one seed draw per shot block),
+// and each block samples from an independent derived sub-stream.
+func (s *State) Sample(shots int, rng *rand.Rand) []uint64 {
+	if shots <= 0 {
+		return nil
+	}
+	t := s.sampler
+	if t == nil {
+		t = newAliasTable(s.Probabilities())
+		s.sampler = t
+	}
+	out := make([]uint64, shots)
+	nblocks := (shots + sampleBlock - 1) / sampleBlock
+	seeds := make([]int64, nblocks)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	par.Do(nblocks, func(b int) {
+		sub := rand.New(rand.NewSource(seeds[b]))
+		lo := b * sampleBlock
+		hi := lo + sampleBlock
+		if hi > shots {
+			hi = shots
+		}
+		for k := lo; k < hi; k++ {
+			out[k] = uint64(t.draw(sub))
+		}
+	})
+	return out
+}

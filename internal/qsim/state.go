@@ -10,6 +10,23 @@
 // is practical to roughly 20 qubits; larger experiments use the surrogate
 // sampler in internal/quantum, which this package also underpins at small
 // scale for cross-validation.
+//
+// # Parallel execution
+//
+// Gate kernels, reductions and sampling partition the amplitude array
+// across the internal/par worker pool; statevectors below par's serial
+// threshold (2^14 amplitudes) run inline with no synchronization.
+// Reductions use fixed chunking, and sampling uses fixed-size shot
+// blocks with derived RNG sub-streams, so all results are deterministic
+// for a fixed seed regardless of GOMAXPROCS.
+//
+// Concurrency contract: a *State is not safe for concurrent use — the
+// internal parallelism is invisible to callers. The *rand.Rand passed to
+// Sample / MeasureQubit must not be shared with other goroutines while
+// the call runs: math/rand sources are not concurrency-safe, and the
+// samplers deliberately derive independent sub-stream seeds from the
+// caller's RNG (a handful of serial draws) rather than locking one
+// shared source across workers.
 package qsim
 
 import (
@@ -19,6 +36,7 @@ import (
 	"math/rand"
 
 	"qtenon/internal/circuit"
+	"qtenon/internal/par"
 )
 
 // MaxQubits bounds exact simulation; 2^24 amplitudes (256 MiB) is the
@@ -29,6 +47,10 @@ const MaxQubits = 24
 type State struct {
 	n   int
 	amp []complex128
+	// sampler caches the alias-method table for Sample; any mutating
+	// operation invalidates it, so repeated sampling of an unchanged
+	// state pays the O(2^n) build exactly once.
+	sampler *aliasTable
 }
 
 // NewState returns |0...0⟩ over n qubits.
@@ -48,19 +70,28 @@ func (s *State) NQubits() int { return s.n }
 // modify it; it is exposed for tests and expectation computations.
 func (s *State) Amplitudes() []complex128 { return s.amp }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. The cached sampler, if any, is
+// shared: alias tables are immutable once built, and each copy
+// invalidates only its own reference on mutation.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp)), sampler: s.sampler}
 	copy(c.amp, s.amp)
 	return c
 }
 
+// invalidate drops the cached sampler; every mutating kernel calls it.
+func (s *State) invalidate() { s.sampler = nil }
+
 // Norm returns the 2-norm of the state (1 for any valid state).
 func (s *State) Norm() float64 {
-	var sum float64
-	for _, a := range s.amp {
-		sum += real(a)*real(a) + imag(a)*imag(a)
-	}
+	amp := s.amp
+	sum := par.SumFloat64(len(amp), func(lo, hi int) float64 {
+		var t float64
+		for _, a := range amp[lo:hi] {
+			t += real(a)*real(a) + imag(a)*imag(a)
+		}
+		return t
+	})
 	return math.Sqrt(sum)
 }
 
@@ -69,102 +100,153 @@ func (s *State) Fidelity(o *State) float64 {
 	if s.n != o.n {
 		panic("qsim: fidelity between different register sizes")
 	}
-	var dot complex128
-	for i, a := range s.amp {
-		dot += cmplx.Conj(a) * o.amp[i]
-	}
+	a, b := s.amp, o.amp
+	dot := par.SumComplex(len(a), func(lo, hi int) complex128 {
+		var t complex128
+		for i := lo; i < hi; i++ {
+			t += cmplx.Conj(a[i]) * b[i]
+		}
+		return t
+	})
 	return real(dot)*real(dot) + imag(dot)*imag(dot)
 }
 
 // apply1Q applies the 2×2 unitary {{u00,u01},{u10,u11}} to qubit q.
+// The pair index k enumerates the 2^(n-1) amplitude pairs; each pair is
+// touched by exactly one range, so partitioning is race-free. Within a
+// range the pair index is decoded once per contiguous run (a run ends at
+// a stride block or the range boundary, whichever is first), keeping the
+// inner loop as tight as the serial kernel.
 func (s *State) apply1Q(q int, u00, u01, u10, u11 complex128) {
+	s.invalidate()
+	amp := s.amp
 	stride := 1 << q
-	for base := 0; base < len(s.amp); base += stride << 1 {
-		for i := base; i < base+stride; i++ {
-			a0, a1 := s.amp[i], s.amp[i+stride]
-			s.amp[i] = u00*a0 + u01*a1
-			s.amp[i+stride] = u10*a0 + u11*a1
+	mask := stride - 1
+	par.For(len(amp)>>1, func(lo, hi int) {
+		for k := lo; k < hi; {
+			run := stride - k&mask
+			if run > hi-k {
+				run = hi - k
+			}
+			i := (k&^mask)<<1 | k&mask
+			for end := i + run; i < end; i++ {
+				a0, a1 := amp[i], amp[i+stride]
+				amp[i] = u00*a0 + u01*a1
+				amp[i+stride] = u10*a0 + u11*a1
+			}
+			k += run
 		}
-	}
+	})
 }
 
 // applyCZ applies a controlled-Z between qubits a and b.
 func (s *State) applyCZ(a, b int) {
-	ma, mb := 1<<a, 1<<b
-	for i := range s.amp {
-		if i&ma != 0 && i&mb != 0 {
-			s.amp[i] = -s.amp[i]
+	s.invalidate()
+	amp := s.amp
+	m := 1<<a | 1<<b
+	par.For(len(amp), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&m == m {
+				amp[i] = -amp[i]
+			}
 		}
-	}
+	})
 }
 
-// applyCX applies a CNOT with the given control and target.
+// applyCX applies a CNOT with the given control and target. Each index
+// with control set and target clear owns its swap partner, so ranges
+// never write the same element.
 func (s *State) applyCX(control, target int) {
+	s.invalidate()
+	amp := s.amp
 	mc, mt := 1<<control, 1<<target
-	for i := range s.amp {
-		if i&mc != 0 && i&mt == 0 {
-			j := i | mt
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+	par.For(len(amp), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&mc != 0 && i&mt == 0 {
+				j := i | mt
+				amp[i], amp[j] = amp[j], amp[i]
+			}
 		}
-	}
+	})
 }
 
 // applyRZZ applies exp(-i θ/2 Z_a Z_b), which is diagonal.
 func (s *State) applyRZZ(a, b int, theta float64) {
+	s.invalidate()
+	amp := s.amp
 	ma, mb := 1<<a, 1<<b
 	ePlus := cmplx.Exp(complex(0, -theta/2)) // ZZ eigenvalue +1
 	eMinus := cmplx.Exp(complex(0, theta/2)) // ZZ eigenvalue -1
-	for i := range s.amp {
-		if (i&ma != 0) == (i&mb != 0) {
-			s.amp[i] *= ePlus
-		} else {
-			s.amp[i] *= eMinus
+	par.For(len(amp), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if (i&ma != 0) == (i&mb != 0) {
+				amp[i] *= ePlus
+			} else {
+				amp[i] *= eMinus
+			}
 		}
+	})
+}
+
+// gateMatrix1Q returns the 2×2 unitary of a single-qubit gate as
+// {u00, u01, u10, u11}; ok is false for kinds that are not one-qubit
+// unitaries.
+func gateMatrix1Q(g circuit.Gate) (m [4]complex128, ok bool) {
+	invSqrt2 := complex(1/math.Sqrt2, 0)
+	switch g.Kind {
+	case circuit.I:
+		return [4]complex128{1, 0, 0, 1}, true
+	case circuit.X:
+		return [4]complex128{0, 1, 1, 0}, true
+	case circuit.Y:
+		return [4]complex128{0, complex(0, -1), complex(0, 1), 0}, true
+	case circuit.Z:
+		return [4]complex128{1, 0, 0, -1}, true
+	case circuit.H:
+		return [4]complex128{invSqrt2, invSqrt2, invSqrt2, -invSqrt2}, true
+	case circuit.S:
+		return [4]complex128{1, 0, 0, complex(0, 1)}, true
+	case circuit.T:
+		return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, math.Pi/4))}, true
+	case circuit.RX:
+		c, sn := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		return [4]complex128{complex(c, 0), complex(0, -sn), complex(0, -sn), complex(c, 0)}, true
+	case circuit.RY:
+		c, sn := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		return [4]complex128{complex(c, 0), complex(-sn, 0), complex(sn, 0), complex(c, 0)}, true
+	case circuit.RZ:
+		return [4]complex128{cmplx.Exp(complex(0, -g.Theta/2)), 0, 0, cmplx.Exp(complex(0, g.Theta/2))}, true
+	default:
+		return m, false
 	}
 }
 
 // Apply executes one gate. Measure gates are ignored here; use Sample or
 // MeasureQubit for readout.
 func (s *State) Apply(g circuit.Gate) {
-	invSqrt2 := complex(1/math.Sqrt2, 0)
 	switch g.Kind {
-	case circuit.I:
-	case circuit.X:
-		s.apply1Q(g.Qubit, 0, 1, 1, 0)
-	case circuit.Y:
-		s.apply1Q(g.Qubit, 0, complex(0, -1), complex(0, 1), 0)
-	case circuit.Z:
-		s.apply1Q(g.Qubit, 1, 0, 0, -1)
-	case circuit.H:
-		s.apply1Q(g.Qubit, invSqrt2, invSqrt2, invSqrt2, -invSqrt2)
-	case circuit.S:
-		s.apply1Q(g.Qubit, 1, 0, 0, complex(0, 1))
-	case circuit.T:
-		s.apply1Q(g.Qubit, 1, 0, 0, cmplx.Exp(complex(0, math.Pi/4)))
-	case circuit.RX:
-		c, sn := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
-		s.apply1Q(g.Qubit, complex(c, 0), complex(0, -sn), complex(0, -sn), complex(c, 0))
-	case circuit.RY:
-		c, sn := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
-		s.apply1Q(g.Qubit, complex(c, 0), complex(-sn, 0), complex(sn, 0), complex(c, 0))
-	case circuit.RZ:
-		s.apply1Q(g.Qubit, cmplx.Exp(complex(0, -g.Theta/2)), 0, 0, cmplx.Exp(complex(0, g.Theta/2)))
+	case circuit.I, circuit.Measure:
+		// Identity; readout is handled by Sample/MeasureQubit — terminal
+		// measurement gates do not change the pre-measurement state.
 	case circuit.CZ:
 		s.applyCZ(g.Qubit, g.Qubit2)
 	case circuit.CX:
 		s.applyCX(g.Qubit, g.Qubit2)
 	case circuit.RZZ:
 		s.applyRZZ(g.Qubit, g.Qubit2, g.Theta)
-	case circuit.Measure:
-		// Readout is handled by Sample/MeasureQubit; terminal measurement
-		// gates do not change the pre-measurement state we sample from.
 	default:
-		panic(fmt.Sprintf("qsim: unsupported gate kind %v", g.Kind))
+		m, ok := gateMatrix1Q(g)
+		if !ok {
+			panic(fmt.Sprintf("qsim: unsupported gate kind %v", g.Kind))
+		}
+		s.apply1Q(g.Qubit, m[0], m[1], m[2], m[3])
 	}
 }
 
 // Run executes a fully bound circuit starting from |0…0⟩ and returns the
-// final (pre-measurement) state.
+// final (pre-measurement) state. Gates are run through the fusion pass
+// (see fusion.go): runs of single-qubit gates collapse into one 2×2
+// apply and batches of diagonal gates into one phase sweep.
 func Run(c *circuit.Circuit) (*State, error) {
 	if c.NumParams != 0 {
 		return nil, fmt.Errorf("qsim: circuit has %d unbound parameters", c.NumParams)
@@ -176,60 +258,41 @@ func Run(c *circuit.Circuit) (*State, error) {
 		return nil, err
 	}
 	s := NewState(c.NQubits)
-	for _, g := range c.Gates {
-		s.Apply(g)
-	}
+	s.applyFused(fuse(c.Gates))
 	return s, nil
 }
 
 // Probabilities returns the measurement distribution over all basis
 // states.
 func (s *State) Probabilities() []float64 {
-	p := make([]float64, len(s.amp))
-	for i, a := range s.amp {
-		p[i] = real(a)*real(a) + imag(a)*imag(a)
-	}
+	amp := s.amp
+	p := make([]float64, len(amp))
+	par.For(len(amp), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := amp[i]
+			p[i] = real(a)*real(a) + imag(a)*imag(a)
+		}
+	})
 	return p
 }
 
-// Sample draws `shots` full-register measurement outcomes (basis-state
-// indices, qubit 0 in bit 0) without collapsing the state.
-func (s *State) Sample(shots int, rng *rand.Rand) []uint64 {
-	p := s.Probabilities()
-	// Cumulative distribution + binary search keeps sampling O(shots·log N).
-	cdf := make([]float64, len(p))
-	var acc float64
-	for i, v := range p {
-		acc += v
-		cdf[i] = acc
-	}
-	out := make([]uint64, shots)
-	for k := range out {
-		x := rng.Float64() * acc // acc ≈ 1; scaling absorbs rounding
-		lo, hi := 0, len(cdf)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cdf[mid] < x {
-				lo = mid + 1
-			} else {
-				hi = mid
+// MeasureQubit projects qubit q, returning the outcome bit and collapsing
+// the state. It is used by tests of mid-circuit behaviour. The rng must
+// not be shared with other goroutines while the call runs.
+func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
+	s.invalidate()
+	amp := s.amp
+	m := 1 << q
+	p1 := par.SumFloat64(len(amp), func(lo, hi int) float64 {
+		var t float64
+		for i := lo; i < hi; i++ {
+			if i&m != 0 {
+				a := amp[i]
+				t += real(a)*real(a) + imag(a)*imag(a)
 			}
 		}
-		out[k] = uint64(lo)
-	}
-	return out
-}
-
-// MeasureQubit projects qubit q, returning the outcome bit and collapsing
-// the state. It is used by tests of mid-circuit behaviour.
-func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
-	m := 1 << q
-	var p1 float64
-	for i, a := range s.amp {
-		if i&m != 0 {
-			p1 += real(a)*real(a) + imag(a)*imag(a)
-		}
-	}
+		return t
+	})
 	outcome := 0
 	if rng.Float64() < p1 {
 		outcome = 1
@@ -240,42 +303,52 @@ func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
 	} else {
 		norm = math.Sqrt(1 - p1)
 	}
-	for i := range s.amp {
-		if (i&m != 0) != (outcome == 1) {
-			s.amp[i] = 0
-		} else if norm > 0 {
-			s.amp[i] /= complex(norm, 0)
+	par.For(len(amp), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if (i&m != 0) != (outcome == 1) {
+				amp[i] = 0
+			} else if norm > 0 {
+				amp[i] /= complex(norm, 0)
+			}
 		}
-	}
+	})
 	return outcome
 }
 
 // ExpectationZ returns ⟨Z_q⟩ for a single qubit.
 func (s *State) ExpectationZ(q int) float64 {
+	amp := s.amp
 	m := 1 << q
-	var e float64
-	for i, a := range s.amp {
-		p := real(a)*real(a) + imag(a)*imag(a)
-		if i&m == 0 {
-			e += p
-		} else {
-			e -= p
+	return par.SumFloat64(len(amp), func(lo, hi int) float64 {
+		var e float64
+		for i := lo; i < hi; i++ {
+			a := amp[i]
+			p := real(a)*real(a) + imag(a)*imag(a)
+			if i&m == 0 {
+				e += p
+			} else {
+				e -= p
+			}
 		}
-	}
-	return e
+		return e
+	})
 }
 
 // ExpectationZZ returns ⟨Z_a Z_b⟩.
 func (s *State) ExpectationZZ(a, b int) float64 {
+	amp := s.amp
 	ma, mb := 1<<a, 1<<b
-	var e float64
-	for i, amp := range s.amp {
-		p := real(amp)*real(amp) + imag(amp)*imag(amp)
-		if (i&ma != 0) == (i&mb != 0) {
-			e += p
-		} else {
-			e -= p
+	return par.SumFloat64(len(amp), func(lo, hi int) float64 {
+		var e float64
+		for i := lo; i < hi; i++ {
+			x := amp[i]
+			p := real(x)*real(x) + imag(x)*imag(x)
+			if (i&ma != 0) == (i&mb != 0) {
+				e += p
+			} else {
+				e -= p
+			}
 		}
-	}
-	return e
+		return e
+	})
 }
