@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/bench"
 	"qtenon/internal/circuit"
 	"qtenon/internal/host"
@@ -178,7 +179,7 @@ func BenchmarkGDIteration(b *testing.B) {
 	o.Iterations = 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := system.Run(cfg, w, false, o); err != nil {
+		if _, err := backend.Run(system.Factory{Cfg: cfg}, w, backend.GD, o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,14 +9,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/baseline"
 	"qtenon/internal/host"
 	"qtenon/internal/mapper"
+	"qtenon/internal/metrics"
 	"qtenon/internal/opt"
 	"qtenon/internal/quantum"
 	"qtenon/internal/report"
@@ -27,16 +30,17 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "qaoa", "qaoa | vqe | qnn")
-		qubits    = flag.Int("qubits", 16, "register width")
-		optimizer = flag.String("optimizer", "spsa", "gd | spsa")
-		iters     = flag.Int("iterations", 10, "optimizer iterations")
-		shots     = flag.Int("shots", 500, "shots per circuit evaluation")
-		sys       = flag.String("system", "qtenon", "qtenon | baseline | both")
-		core      = flag.String("core", "boom", "rocket | boom (Qtenon host core)")
-		showTrace = flag.Bool("trace", false, "render a resource timeline of the Qtenon run")
-		noisy     = flag.Bool("noise", false, "run the chip with typical NISQ error rates")
-		coupling  = flag.String("coupling", "all", "all | line | grid (Qtenon qubit connectivity; non-all routes the circuit)")
+		workload    = flag.String("workload", "qaoa", "qaoa | vqe | qnn")
+		qubits      = flag.Int("qubits", 16, "register width")
+		optimizer   = flag.String("optimizer", "spsa", "gd | spsa")
+		iters       = flag.Int("iterations", 10, "optimizer iterations")
+		shots       = flag.Int("shots", 500, "shots per circuit evaluation")
+		sys         = flag.String("system", "qtenon", "qtenon | baseline | both")
+		core        = flag.String("core", "boom", "rocket | boom (Qtenon host core)")
+		showTrace   = flag.Bool("trace", false, "render a resource timeline of the Qtenon run")
+		noisy       = flag.Bool("noise", false, "run the chip with typical NISQ error rates")
+		coupling    = flag.String("coupling", "all", "all | line | grid (Qtenon qubit connectivity; non-all routes the circuit)")
+		showMetrics = flag.Bool("metrics", false, "dump each run's full metrics-registry snapshot as JSON")
 	)
 	flag.Parse()
 
@@ -55,10 +59,16 @@ func main() {
 	o := opt.DefaultOptions()
 	o.Iterations = *iters
 
+	alg := backend.GD
+	if useSPSA {
+		alg = backend.SPSA
+	}
+
 	fmt.Printf("workload %s, %d parameters, optimizer %s, %d iterations, %d shots\n",
 		w.Name, w.NumParams(), strings.ToUpper(*optimizer), *iters, *shots)
 
 	var qres, bres *report.RunResult
+	snapshots := map[string]metrics.Snapshot{}
 	if *sys == "qtenon" || *sys == "both" {
 		cfg := system.DefaultConfig(pickCore(*core))
 		cfg.Shots = *shots
@@ -88,19 +98,9 @@ func main() {
 			rec = &trace.Recorder{}
 			qsys.SetTrace(rec)
 		}
-		var ores opt.Result
-		if useSPSA {
-			ores, err = opt.SPSA(qsys.Evaluate, w.InitialParams, o)
-		} else {
-			ores, err = opt.GradientDescent(qsys.Evaluate, w.InitialParams, o)
-		}
+		res, err := backend.RunOn(qsys, w.InitialParams, alg, o)
 		if err != nil {
 			fail(err)
-		}
-		res := report.RunResult{
-			Breakdown: qsys.Breakdown(), Comm: qsys.Comm(),
-			History: ores.History, Evaluations: ores.Evaluations,
-			InstructionCount: qsys.Instructions(),
 		}
 		qres = &res
 		printRun("Qtenon", res)
@@ -108,21 +108,34 @@ func main() {
 			fmt.Println("\nresource timeline:")
 			fmt.Print(rec.Render(100))
 		}
+		snapshots["qtenon"] = qsys.Metrics().Snapshot()
 	}
 	if *sys == "baseline" || *sys == "both" {
 		cfg := baseline.DefaultConfig()
 		cfg.Shots = *shots
-		res, err := baseline.Run(cfg, w, useSPSA, o)
+		bsys, err := baseline.New(cfg, w)
+		if err != nil {
+			fail(err)
+		}
+		res, err := backend.RunOn(bsys, w.InitialParams, alg, o)
 		if err != nil {
 			fail(err)
 		}
 		bres = &res
 		printRun("baseline", res)
+		snapshots["baseline"] = bsys.Metrics().Snapshot()
 	}
 	if qres != nil && bres != nil {
 		fmt.Printf("end-to-end speedup: %.2f×  classical speedup: %.1f×\n",
 			report.Speedup(bres.Breakdown.Total(), qres.Breakdown.Total()),
 			report.Speedup(bres.Breakdown.Classical(), qres.Breakdown.Classical()))
+	}
+	if *showMetrics {
+		out, err := json.MarshalIndent(snapshots, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmetrics:\n%s\n", out)
 	}
 }
 

@@ -42,7 +42,7 @@ func main() {
 	}
 	fmt.Printf("optimized cost trajectory: %.3f → %.3f over %d evaluations\n",
 		res.History[0], res.History[len(res.History)-1], res.Evaluations)
-	fmt.Println("system time:", sys.Breakdown())
+	fmt.Println("system time:", sys.Result().Breakdown)
 
 	// Extract the best cut: sample the final circuit exactly and keep the
 	// best observed assignment.

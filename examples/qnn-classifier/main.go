@@ -127,5 +127,5 @@ func main() {
 			i, z, pred, s.label, ok)
 	}
 	fmt.Printf("accuracy: %d/%d\n", correct, len(train))
-	fmt.Println("\narchitecture accounting for sample 0:", systems[0].sys.Breakdown())
+	fmt.Println("\narchitecture accounting for sample 0:", systems[0].sys.Result().Breakdown)
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/baseline"
 	"qtenon/internal/host"
 	"qtenon/internal/opt"
@@ -25,12 +26,15 @@ func main() {
 	fmt.Printf("workload: %s (%d gates, %d parameters)\n",
 		w.Name, len(w.Circuit.Gates), w.NumParams())
 
+	// Both machines are backends minted from factories and driven through
+	// the same run loop; everything that differs between the two results
+	// is architectural.
 	o := opt.DefaultOptions() // 10 iterations, as in the paper
-	qt, err := system.Run(system.DefaultConfig(host.BoomL()), w, true, o)
+	qt, err := backend.Run(system.Factory{Cfg: system.DefaultConfig(host.BoomL())}, w, backend.SPSA, o)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := baseline.Run(baseline.DefaultConfig(), w, true, o)
+	base, err := backend.Run(baseline.Factory{Cfg: baseline.DefaultConfig()}, w, backend.SPSA, o)
 	if err != nil {
 		log.Fatal(err)
 	}

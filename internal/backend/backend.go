@@ -1,0 +1,113 @@
+// Package backend is the single run path every executor in the
+// repository goes through. The paper's evaluation is a comparison
+// between machines — tightly coupled Qtenon and the decoupled baseline —
+// and this package is where "a machine" is defined: anything that can
+// evaluate a parameter vector with timing accounting and report a
+// report.RunResult. The optimizer-driving loop (algorithm dispatch,
+// evaluation counting, convergence history) lives here exactly once;
+// internal/system and internal/baseline are adapters, and a future
+// executor (hardware-only, noisy, remote) is another ~100-line adapter
+// rather than a third copy of the loop.
+package backend
+
+import (
+	"fmt"
+
+	"qtenon/internal/metrics"
+	"qtenon/internal/opt"
+	"qtenon/internal/report"
+	"qtenon/internal/vqa"
+)
+
+// Algorithm selects the classical optimizer driving a run.
+type Algorithm uint8
+
+// Supported algorithms. GD and SPSA are the paper's pair (§7.1); Adam is
+// the repository's extension with a GD-shaped evaluation pattern.
+const (
+	GD Algorithm = iota
+	SPSA
+	Adam
+)
+
+var algorithmNames = [...]string{"GD", "SPSA", "Adam"}
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if int(a) < len(algorithmNames) {
+		return algorithmNames[a]
+	}
+	return fmt.Sprintf("algorithm(%d)", uint8(a))
+}
+
+// Backend is one executor instance bound to one workload. Evaluate is an
+// opt.Evaluator with full machine accounting behind it; Result reports
+// everything accumulated so far. Backends are stateful and serial: one
+// optimization run per instance, minted fresh from a Factory.
+type Backend interface {
+	Evaluate(params []float64) (float64, error)
+	Result() report.RunResult
+}
+
+// Factory mints independent Backend instances. Independence is the
+// contract that lets sweeps run grid points on concurrently-owned
+// machines: two instances share no mutable state, including their
+// metrics registries.
+type Factory interface {
+	New(w *vqa.Workload) (Backend, error)
+}
+
+// Instrumented is implemented by backends that expose a live metrics
+// registry (see internal/metrics for the naming scheme).
+type Instrumented interface {
+	Metrics() *metrics.Registry
+}
+
+// MetricsOf returns b's metrics registry, or nil when b is not
+// instrumented — safe to snapshot either way.
+func MetricsOf(b Backend) *metrics.Registry {
+	if i, ok := b.(Instrumented); ok {
+		return i.Metrics()
+	}
+	return nil
+}
+
+// Optimize dispatches eval to the selected algorithm. Unknown values
+// fall back to GD, matching the historical front-door behaviour.
+func Optimize(alg Algorithm, eval opt.Evaluator, initial []float64, o opt.Options) (opt.Result, error) {
+	switch alg {
+	case SPSA:
+		return opt.SPSA(eval, initial, o)
+	case Adam:
+		return opt.Adam(eval, initial, o)
+	default:
+		return opt.GradientDescent(eval, initial, o)
+	}
+}
+
+// RunOn drives one full optimization over an existing backend and
+// returns its accounting. History and Evaluations come from the
+// optimizer, which is authoritative for the run (the backend may have
+// been evaluated before, e.g. by a warm-up; a fresh instance agrees with
+// its own counts).
+func RunOn(b Backend, initial []float64, alg Algorithm, o opt.Options) (report.RunResult, error) {
+	res, err := Optimize(alg, b.Evaluate, initial, o)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	out := b.Result()
+	out.History = res.History
+	out.Evaluations = res.Evaluations
+	return out, nil
+}
+
+// Run mints a fresh backend from the factory and executes one full
+// optimization from the workload's deterministic starting point — the
+// one run loop behind every figure and table.
+func Run(f Factory, w *vqa.Workload, alg Algorithm, o opt.Options) (report.RunResult, error) {
+	b, err := f.New(w)
+	if err != nil {
+		return report.RunResult{}, err
+	}
+	return RunOn(b, w.InitialParams, alg, o)
+}

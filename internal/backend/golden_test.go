@@ -1,0 +1,172 @@
+package backend_test
+
+import (
+	"testing"
+
+	"qtenon/internal/backend"
+	"qtenon/internal/baseline"
+	"qtenon/internal/host"
+	"qtenon/internal/opt"
+	"qtenon/internal/report"
+	"qtenon/internal/sim"
+	"qtenon/internal/system"
+	"qtenon/internal/vqa"
+)
+
+// golden pins the exact RunResult the seed tree produced for one
+// machine × optimizer cell: 8-qubit QAOA, default configs (seed 1),
+// 3 optimizer iterations. The backend refactor routes the same
+// components through a shared run loop, so every field — times down to
+// the picosecond, instruction counts, SLT hit rate, cost history — must
+// reproduce bit-for-bit. Any drift here means the refactor changed
+// simulation semantics, not just plumbing.
+type golden struct {
+	breakdown        report.Breakdown
+	comm             report.CommBreakdown
+	evaluations      int
+	instructionCount int
+	hostActivity     sim.Time
+	commActivity     sim.Time
+	pulsesGenerated  int64
+	sltHitRate       float64
+	history          []float64
+}
+
+var goldens = map[string]golden{
+	"qtenon/gd": {
+		breakdown:        report.Breakdown{Quantum: 47880000000, Comm: 2127000, PulseGen: 106763000, HostComp: 40451343},
+		comm:             report.CommBreakdown{QSet: 75000, QUpdate: 116000, QAcquire: 1936000},
+		evaluations:      63,
+		instructionCount: 306,
+		hostActivity:     440306358,
+		commActivity:     31167000,
+		pulsesGenerated:  808,
+		sltHitRate:       0.91990483743061058,
+		history:          []float64{-3.8359999999999999, -4.0759999999999996, -5.1059999999999999},
+	},
+	"baseline/gd": {
+		breakdown:        report.Breakdown{Quantum: 47880000000, Comm: 252509664960, PulseGen: 10584000000, HostComp: 55441890000},
+		evaluations:      63,
+		instructionCount: 9828,
+		hostActivity:     55441890000,
+		commActivity:     252509664960,
+		pulsesGenerated:  10584,
+		history:          []float64{-3.8359999999999999, -4.0759999999999996, -5.1059999999999999},
+	},
+	"qtenon/spsa": {
+		breakdown:        report.Breakdown{Quantum: 6840000000, Comm: 433000, PulseGen: 87265000, HostComp: 7294554},
+		comm:             report.CommBreakdown{QSet: 75000, QUpdate: 80000, QAcquire: 278000},
+		evaluations:      9,
+		instructionCount: 108,
+		hostActivity:     64416699,
+		commActivity:     4603000,
+		pulsesGenerated:  696,
+		sltHitRate:       0.51933701657458564,
+		history:          []float64{-4.3120000000000003, -4.0860000000000003, -4.6360000000000001},
+	},
+	"baseline/spsa": {
+		breakdown:        report.Breakdown{Quantum: 6840000000, Comm: 36072809280, PulseGen: 1512000000, HostComp: 7920270000},
+		evaluations:      9,
+		instructionCount: 1404,
+		hostActivity:     7920270000,
+		commActivity:     36072809280,
+		pulsesGenerated:  1512,
+		history:          []float64{-4.3120000000000003, -4.0860000000000003, -4.6360000000000001},
+	},
+}
+
+func goldenWorkload(t *testing.T) *vqa.Workload {
+	t.Helper()
+	w, err := vqa.New(vqa.QAOA, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func goldenOptions() opt.Options {
+	o := opt.DefaultOptions()
+	o.Iterations = 3
+	return o
+}
+
+func checkGolden(t *testing.T, got report.RunResult, want golden) {
+	t.Helper()
+	if got.Breakdown != want.breakdown {
+		t.Errorf("breakdown = %+v, want %+v", got.Breakdown, want.breakdown)
+	}
+	if got.Comm != want.comm {
+		t.Errorf("comm = %+v, want %+v", got.Comm, want.comm)
+	}
+	if got.Evaluations != want.evaluations {
+		t.Errorf("evaluations = %d, want %d", got.Evaluations, want.evaluations)
+	}
+	if got.InstructionCount != want.instructionCount {
+		t.Errorf("instructions = %d, want %d", got.InstructionCount, want.instructionCount)
+	}
+	if got.HostActivity != want.hostActivity {
+		t.Errorf("host activity = %d, want %d", got.HostActivity, want.hostActivity)
+	}
+	if got.CommActivity != want.commActivity {
+		t.Errorf("comm activity = %d, want %d", got.CommActivity, want.commActivity)
+	}
+	if got.PulsesGenerated != want.pulsesGenerated {
+		t.Errorf("pulses generated = %d, want %d", got.PulsesGenerated, want.pulsesGenerated)
+	}
+	if got.SLTHitRate != want.sltHitRate {
+		t.Errorf("SLT hit rate = %.17g, want %.17g", got.SLTHitRate, want.sltHitRate)
+	}
+	if len(got.History) != len(want.history) {
+		t.Fatalf("history length = %d, want %d", len(got.History), len(want.history))
+	}
+	for i := range want.history {
+		if got.History[i] != want.history[i] {
+			t.Errorf("history[%d] = %.17g, want %.17g", i, got.History[i], want.history[i])
+		}
+	}
+}
+
+// TestGoldenEquivalence runs both machines under both optimizers through
+// the unified backend run loop and asserts the exact seed-tree numbers.
+func TestGoldenEquivalence(t *testing.T) {
+	w := goldenWorkload(t)
+	o := goldenOptions()
+	factories := map[string]backend.Factory{
+		"qtenon":   system.Factory{Cfg: system.DefaultConfig(host.BoomL())},
+		"baseline": baseline.Factory{Cfg: baseline.DefaultConfig()},
+	}
+	algs := map[string]backend.Algorithm{"gd": backend.GD, "spsa": backend.SPSA}
+	for mach, f := range factories {
+		for algName, alg := range algs {
+			key := mach + "/" + algName
+			t.Run(key, func(t *testing.T) {
+				res, err := backend.Run(f, w, alg, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, res, goldens[key])
+			})
+		}
+	}
+}
+
+// TestFactoryInstancesIndependent re-runs the same factory twice and
+// demands identical results: factory-minted backends share no state, so
+// a prior run can never perturb a later one.
+func TestFactoryInstancesIndependent(t *testing.T) {
+	w := goldenWorkload(t)
+	o := goldenOptions()
+	f := system.Factory{Cfg: system.DefaultConfig(host.BoomL())}
+	first, err := backend.Run(f, w, backend.SPSA, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := backend.Run(f, w, backend.SPSA, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, second, goldens["qtenon/spsa"])
+	if first.Breakdown != second.Breakdown {
+		t.Errorf("re-run diverged: %+v vs %+v", first.Breakdown, second.Breakdown)
+	}
+}

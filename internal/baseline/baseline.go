@@ -10,10 +10,11 @@ package baseline
 import (
 	"fmt"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/circuit"
 	"qtenon/internal/host"
 	"qtenon/internal/isa"
-	"qtenon/internal/opt"
+	"qtenon/internal/metrics"
 	"qtenon/internal/quantum"
 	"qtenon/internal/report"
 	"qtenon/internal/sim"
@@ -86,6 +87,23 @@ type System struct {
 	breakdown report.Breakdown
 	evals     int
 	instrs    int
+
+	reg *metrics.Registry
+	m   instruments
+}
+
+// instruments are the registry handles the decoupled machine updates:
+// the baseline has no controller-side hardware to report, so its
+// components are the host (JIT compiles, network messages), the quantum
+// chip, and the run loop.
+type instruments struct {
+	evaluations  *metrics.Counter
+	jitCompiles  *metrics.Counter
+	messages     *metrics.Counter
+	instructions *metrics.Counter
+	shots        *metrics.Counter
+	shotTime     *metrics.Timer
+	pulses       *metrics.Counter
 }
 
 // New binds a baseline system to a workload.
@@ -113,6 +131,7 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := metrics.NewRegistry()
 	return &System{
 		cfg:      cfg,
 		workload: w,
@@ -126,17 +145,32 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 		},
 		pulses:     ct.OneQubit + 2*ct.TwoQubit,
 		programLen: gen.Len(),
+		reg:        reg,
+		m: instruments{
+			evaluations:  reg.Counter("system.evaluations"),
+			jitCompiles:  reg.Counter("host.jit_compiles"),
+			messages:     reg.Counter("host.messages"),
+			instructions: reg.Counter("controller.instructions"),
+			shots:        reg.Counter("quantum.shots"),
+			shotTime:     reg.Timer("quantum.shot_time_ps"),
+			pulses:       reg.Counter("pulse.generated"),
+		},
 	}, nil
 }
+
+// Metrics exposes the instance's metrics registry.
+func (s *System) Metrics() *metrics.Registry { return s.reg }
 
 // Evaluate runs one cost evaluation with full baseline accounting. It is
 // an opt.Evaluator.
 func (s *System) Evaluate(params []float64) (float64, error) {
 	s.evals++
+	s.m.evaluations.Inc()
 	var b report.Breakdown
 
 	// 1. JIT recompilation on the host — every evaluation, from scratch.
 	b.HostComp += s.cfg.Core.Time(s.cfg.Costs.JITCompile(s.shape.Gates))
+	s.m.jitCompiles.Inc()
 
 	// 2. Ship the compiled program to the FPGA. The binary carries one
 	//    word per quantum-dedicated instruction of the generated code.
@@ -144,10 +178,13 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 	b.Comm += s.cfg.Link.MessageTime(programBytes)
 	b.HostComp += s.cfg.Core.Time(s.cfg.Costs.DriverPerMessage)
 	s.instrs += s.programLen
+	s.m.instructions.Add(int64(s.programLen))
+	s.m.messages.Inc()
 
 	// 3. FPGA pulse generation: fixed latency per pulse, sequential, no
 	//    reuse across evaluations.
 	b.PulseGen += sim.Time(s.pulses) * s.cfg.PulsePerGate
+	s.m.pulses.Add(int64(s.pulses))
 
 	// 4. Quantum execution.
 	bound := s.workload.Circuit.Bind(params)
@@ -156,15 +193,19 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 		return 0, err
 	}
 	b.Quantum += sim.Time(s.cfg.Shots) * (ex.ShotTime + s.cfg.ADI.RoundTrip())
+	s.m.shots.Add(int64(s.cfg.Shots))
+	s.m.shotTime.Observe(int64(ex.ShotTime))
 
 	// 5. Results return over UDP.
 	resultBytes := (s.workload.NQubits() + 7) / 8
 	if s.cfg.BatchResults {
 		b.Comm += s.cfg.Link.MessageTime(resultBytes * s.cfg.Shots)
 		b.HostComp += s.cfg.Core.Time(s.cfg.Costs.DriverPerMessage)
+		s.m.messages.Inc()
 	} else {
 		b.Comm += sim.Time(s.cfg.Shots) * s.cfg.Link.MessageTime(resultBytes)
 		b.HostComp += sim.Time(s.cfg.Shots) * s.cfg.Core.Time(s.cfg.Costs.DriverPerMessage)
+		s.m.messages.Add(int64(s.cfg.Shots))
 	}
 
 	// 6. Host post-processing and optimizer arithmetic.
@@ -175,35 +216,34 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 	return s.workload.Cost(ex.Outcomes), nil
 }
 
-// Breakdown returns the accumulated time accounting.
-func (s *System) Breakdown() report.Breakdown { return s.breakdown }
-
-// Evaluations reports how many cost evaluations ran.
-func (s *System) Evaluations() int { return s.evals }
-
-// Run executes a full optimization (GD or SPSA) and returns the result
-// with accounting.
-func Run(cfg Config, w *vqa.Workload, useSPSA bool, o opt.Options) (report.RunResult, error) {
-	s, err := New(cfg, w)
-	if err != nil {
-		return report.RunResult{}, err
-	}
-	var res opt.Result
-	if useSPSA {
-		res, err = opt.SPSA(s.Evaluate, w.InitialParams, o)
-	} else {
-		res, err = opt.GradientDescent(s.Evaluate, w.InitialParams, o)
-	}
-	if err != nil {
-		return report.RunResult{}, err
-	}
+// Result reports everything accumulated so far as one report.RunResult —
+// the Backend accounting surface. The decoupled stack has no overlap,
+// so host and communication activity equal their exposed breakdown
+// shares. History is the optimizer's to fill (backend.RunOn overwrites
+// it).
+func (s *System) Result() report.RunResult {
 	return report.RunResult{
 		Breakdown:        s.breakdown,
-		History:          res.History,
-		Evaluations:      res.Evaluations,
+		Evaluations:      s.evals,
 		InstructionCount: s.instrs,
 		HostActivity:     s.breakdown.HostComp,
 		CommActivity:     s.breakdown.Comm,
-		PulsesGenerated:  int64(s.pulses) * int64(res.Evaluations),
-	}, nil
+		PulsesGenerated:  int64(s.pulses) * int64(s.evals),
+	}
 }
+
+// Factory mints independent baseline systems from one configuration —
+// the backend.Factory for the decoupled machine.
+type Factory struct {
+	Cfg Config
+}
+
+// New implements backend.Factory.
+func (f Factory) New(w *vqa.Workload) (backend.Backend, error) { return New(f.Cfg, w) }
+
+// Interface conformance.
+var (
+	_ backend.Backend      = (*System)(nil)
+	_ backend.Instrumented = (*System)(nil)
+	_ backend.Factory      = Factory{}
+)

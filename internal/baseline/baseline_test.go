@@ -3,6 +3,7 @@ package baseline
 import (
 	"testing"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/opt"
 	"qtenon/internal/sim"
 	"qtenon/internal/vqa"
@@ -68,7 +69,8 @@ func TestEvaluateAccounting(t *testing.T) {
 	if cost > 0 {
 		t.Errorf("MaxCut cost = %v, want ≤ 0", cost)
 	}
-	b := s.Breakdown()
+	res := s.Result()
+	b := res.Breakdown
 	if b.Quantum <= 0 || b.Comm <= 0 || b.PulseGen <= 0 || b.HostComp <= 0 {
 		t.Errorf("breakdown has empty category: %+v", b)
 	}
@@ -77,8 +79,8 @@ func TestEvaluateAccounting(t *testing.T) {
 	if b.Comm < perShotComm {
 		t.Errorf("comm %v below the per-shot floor %v", b.Comm, perShotComm)
 	}
-	if s.Evaluations() != 1 {
-		t.Errorf("evals = %d", s.Evaluations())
+	if res.Evaluations != 1 {
+		t.Errorf("evals = %d", res.Evaluations)
 	}
 }
 
@@ -95,7 +97,7 @@ func TestBatchResultsReducesComm(t *testing.T) {
 		if _, err := s.Evaluate(w.InitialParams); err != nil {
 			t.Fatal(err)
 		}
-		return s.Breakdown().Comm
+		return s.Result().Breakdown.Comm
 	}
 	if run(true) >= run(false) {
 		t.Error("batched results not cheaper than per-shot")
@@ -109,14 +111,14 @@ func TestRunGDAndSPSA(t *testing.T) {
 	o := opt.DefaultOptions()
 	o.Iterations = 2
 
-	gd, err := Run(cfg, w, false, o)
+	gd, err := backend.Run(Factory{Cfg: cfg}, w, backend.GD, o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gd.Evaluations != opt.GDEvaluationsPerRun(w.NumParams(), 2) {
 		t.Errorf("GD evals = %d", gd.Evaluations)
 	}
-	sp, err := Run(cfg, w, true, o)
+	sp, err := backend.Run(Factory{Cfg: cfg}, w, backend.SPSA, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +153,7 @@ func TestCommunicationDominatesAt64Qubits(t *testing.T) {
 	if _, err := s.Evaluate(w.InitialParams); err != nil {
 		t.Fatal(err)
 	}
-	b := s.Breakdown()
+	b := s.Result().Breakdown
 	p := b.Percent()
 	if p[0] > 30 {
 		t.Errorf("quantum share = %.1f%%, want small on the baseline", p[0])

@@ -11,6 +11,7 @@ package bench
 import (
 	"fmt"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/baseline"
 	"qtenon/internal/host"
 	"qtenon/internal/opt"
@@ -80,6 +81,13 @@ func (s Scale) options() opt.Options {
 	return o
 }
 
+func algorithm(spsa bool) backend.Algorithm {
+	if spsa {
+		return backend.SPSA
+	}
+	return backend.GD
+}
+
 // runQtenon executes a full optimization on the Qtenon system.
 func runQtenon(kind vqa.Kind, nq int, core host.Core, spsa bool, sc Scale) (report.RunResult, error) {
 	return runQtenonCfg(system.DefaultConfig(core), kind, nq, spsa, sc)
@@ -91,7 +99,7 @@ func runQtenonCfg(cfg system.Config, kind vqa.Kind, nq int, spsa bool, sc Scale)
 		return report.RunResult{}, err
 	}
 	cfg.Shots = sc.Shots()
-	return system.Run(cfg, w, spsa, sc.options())
+	return backend.Run(system.Factory{Cfg: cfg}, w, algorithm(spsa), sc.options())
 }
 
 // runBaseline executes a full optimization on the decoupled baseline.
@@ -102,7 +110,7 @@ func runBaseline(kind vqa.Kind, nq int, spsa bool, sc Scale) (report.RunResult, 
 	}
 	cfg := baseline.DefaultConfig()
 	cfg.Shots = sc.Shots()
-	return baseline.Run(cfg, w, spsa, sc.options())
+	return backend.Run(baseline.Factory{Cfg: cfg}, w, algorithm(spsa), sc.options())
 }
 
 // forEachPoint evaluates fn(i) for every sweep point, fanning the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/host"
 	"qtenon/internal/opt"
 	"qtenon/internal/sched"
@@ -40,12 +41,13 @@ func Figure9(sc Scale) (string, error) {
 		sys.SetTrace(rec)
 		o := opt.DefaultOptions()
 		o.Iterations = 1
-		if _, err := opt.SPSA(sys.Evaluate, w.InitialParams, o); err != nil {
+		if _, err := backend.RunOn(sys, w.InitialParams, backend.SPSA, o); err != nil {
 			return "", err
 		}
+		bd := sys.Result().Breakdown
 		fmt.Fprintf(&sb, "-- %v --\n%s", mode, rec.Render(96))
 		fmt.Fprintf(&sb, "exposed classical: %v of %v total\n\n",
-			sys.Breakdown().Classical(), sys.Breakdown().Total())
+			bd.Classical(), bd.Total())
 	}
 	sb.WriteString("paper: Figure 9(a) FENCE stalls the host until quantum completes;\n")
 	sb.WriteString("       9(b) fine-grained sync overlaps transmission and post-processing.\n")

@@ -20,6 +20,7 @@ import (
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/compiler"
+	"qtenon/internal/metrics"
 	"qtenon/internal/pipeline"
 	"qtenon/internal/qcc"
 	"qtenon/internal/quantum"
@@ -56,6 +57,30 @@ type Machine struct {
 	shots   int
 	// Executed counts interpreted instructions.
 	Executed int
+
+	cInstr map[rocc.Funct]*metrics.Counter
+}
+
+// Instrument attaches the machine and its full hardware complement —
+// bus, RBQ, WBQ, barrier, SLT bank, and pulse pipeline — to one metrics
+// registry. The controller itself reports its instruction mix as
+// "controller.instr.<name>" counters. Nil registry detaches.
+func (m *Machine) Instrument(reg *metrics.Registry) {
+	m.cInstr = map[rocc.Funct]*metrics.Counter{
+		rocc.FnQUpdate:  reg.Counter("controller.instr.q_update"),
+		rocc.FnQSet:     reg.Counter("controller.instr.q_set"),
+		rocc.FnQAcquire: reg.Counter("controller.instr.q_acquire"),
+		rocc.FnQGen:     reg.Counter("controller.instr.q_gen"),
+		rocc.FnQRun:     reg.Counter("controller.instr.q_run"),
+	}
+	if reg == nil {
+		m.cInstr = nil
+	}
+	m.bus.Instrument(reg)
+	m.rbq.Instrument(reg)
+	m.wbq.Instrument(reg)
+	m.barrier.Instrument(reg)
+	m.pipe.Instrument(reg)
 }
 
 // NewMachine builds a machine for registers of the given width.
@@ -141,6 +166,7 @@ func (m *Machine) LoadProgram(c *circuit.Circuit, base uint64) (int, error) {
 func (m *Machine) Exec(in rocc.Instruction) error {
 	m.Regs[0] = 0
 	m.Executed++
+	m.cInstr[in.Funct].Inc()
 	switch in.Funct {
 	case rocc.FnQUpdate:
 		return m.execUpdate(in)

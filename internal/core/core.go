@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/baseline"
 	"qtenon/internal/host"
 	"qtenon/internal/opt"
@@ -73,14 +74,16 @@ func (s Spec) normalize() (Spec, opt.Options, error) {
 	return s, o, nil
 }
 
-func (s Spec) optimize(eval opt.Evaluator, initial []float64, o opt.Options) (opt.Result, error) {
-	switch s.Optimizer {
+// Algorithm maps the optimizer selection onto the backend run loop's
+// dispatch.
+func (o Optimizer) Algorithm() backend.Algorithm {
+	switch o {
 	case SPSA:
-		return opt.SPSA(eval, initial, o)
+		return backend.SPSA
 	case Adam:
-		return opt.Adam(eval, initial, o)
+		return backend.Adam
 	default:
-		return opt.GradientDescent(eval, initial, o)
+		return backend.GD
 	}
 }
 
@@ -99,25 +102,7 @@ func RunQtenon(spec Spec) (report.RunResult, error) {
 		cfg = *spec.Qtenon
 	}
 	cfg.Shots = spec.Shots
-	sys, err := system.New(cfg, w)
-	if err != nil {
-		return report.RunResult{}, err
-	}
-	res, err := spec.optimize(sys.Evaluate, w.InitialParams, o)
-	if err != nil {
-		return report.RunResult{}, err
-	}
-	return report.RunResult{
-		Breakdown:        sys.Breakdown(),
-		Comm:             sys.Comm(),
-		History:          res.History,
-		Evaluations:      res.Evaluations,
-		InstructionCount: sys.Instructions(),
-		HostActivity:     sys.HostActivity(),
-		CommActivity:     sys.CommActivity(),
-		PulsesGenerated:  sys.PulsesGenerated(),
-		SLTHitRate:       sys.SLTStats().HitRate(),
-	}, nil
+	return backend.Run(system.Factory{Cfg: cfg}, w, spec.Optimizer.Algorithm(), o)
 }
 
 // RunBaseline executes the spec on the decoupled baseline.
@@ -135,19 +120,7 @@ func RunBaseline(spec Spec) (report.RunResult, error) {
 		cfg = *spec.Baseline
 	}
 	cfg.Shots = spec.Shots
-	sys, err := baseline.New(cfg, w)
-	if err != nil {
-		return report.RunResult{}, err
-	}
-	res, err := spec.optimize(sys.Evaluate, w.InitialParams, o)
-	if err != nil {
-		return report.RunResult{}, err
-	}
-	return report.RunResult{
-		Breakdown:   sys.Breakdown(),
-		History:     res.History,
-		Evaluations: res.Evaluations,
-	}, nil
+	return backend.Run(baseline.Factory{Cfg: cfg}, w, spec.Optimizer.Algorithm(), o)
 }
 
 // Comparison pairs the two runs of one spec.

@@ -18,6 +18,7 @@ import (
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/hw"
+	"qtenon/internal/metrics"
 	"qtenon/internal/pulse"
 	"qtenon/internal/qcc"
 	"qtenon/internal/slt"
@@ -63,6 +64,27 @@ type Pipeline struct {
 	cache *qcc.Cache
 	bank  *slt.Bank
 	pgu   *pulse.PGU
+
+	cProcessed, cGenerated, cSkipped *metrics.Counter
+	cStall, cQSpaceStall, cCycles    *metrics.Counter
+	gPGUBusy                         *metrics.Gauge
+}
+
+// Instrument attaches the pipeline to a metrics registry under the
+// "pulse" component: processed/generated/skipped entry counts, stall
+// cycles, total pipeline cycles, and a PGU-occupancy gauge whose
+// high-water mark is the peak number of simultaneously busy PGUs. It
+// also instruments the SLT bank the pipeline queries. Nil registry
+// detaches.
+func (p *Pipeline) Instrument(reg *metrics.Registry) {
+	p.cProcessed = reg.Counter("pulse.processed")
+	p.cGenerated = reg.Counter("pulse.generated")
+	p.cSkipped = reg.Counter("pulse.skipped")
+	p.cStall = reg.Counter("pulse.stall_cycles")
+	p.cQSpaceStall = reg.Counter("pulse.qspace_stall_cycles")
+	p.cCycles = reg.Counter("pulse.cycles")
+	p.gPGUBusy = reg.Gauge("pulse.pgu_busy")
+	p.bank.Instrument(reg)
 }
 
 // New builds a pipeline over the controller cache and SLT bank.
@@ -169,6 +191,13 @@ func (p *Pipeline) Run(items []WorkItem) (Result, error) {
 			if g := hw.PriorityEncoder(free); g >= 0 {
 				pgus[g] = pguState{busy: true, remain: p.cfg.PGULatency, current: *s3}
 				s3 = nil
+				busy := int64(0)
+				for i := range pgus {
+					if pgus[i].busy {
+						busy++
+					}
+				}
+				p.gPGUBusy.Set(busy)
 			} else {
 				stalled = true // all PGUs occupied: stall stages 1–2
 				res.StallCycles++
@@ -203,6 +232,12 @@ func (p *Pipeline) Run(items []WorkItem) (Result, error) {
 	}
 	res.Cycles = cycles
 	res.Generated = res.Writebacks
+	p.cProcessed.Add(int64(res.Processed))
+	p.cGenerated.Add(int64(res.Generated))
+	p.cSkipped.Add(int64(res.Skipped))
+	p.cStall.Add(res.StallCycles)
+	p.cQSpaceStall.Add(res.QSpaceCycles)
+	p.cCycles.Add(res.Cycles)
 	return res, nil
 }
 

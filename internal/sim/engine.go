@@ -1,6 +1,10 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"qtenon/internal/metrics"
+)
 
 // Engine is a discrete-event simulator. Events are closures scheduled at
 // absolute virtual times; Run executes them in timestamp order (FIFO
@@ -14,6 +18,18 @@ type Engine struct {
 	seq    uint64
 	nexec  uint64
 	halted bool
+
+	cEvents *metrics.Counter
+	gDepth  *metrics.Gauge
+}
+
+// Instrument attaches the engine to a metrics registry: every executed
+// event counts into "sim.events_executed" and the event-heap depth is
+// tracked by the "sim.heap_depth" gauge (high-water = peak simultaneity).
+// A nil registry detaches (nil instruments are no-ops).
+func (e *Engine) Instrument(reg *metrics.Registry) {
+	e.cEvents = reg.Counter("sim.events_executed")
+	e.gDepth = reg.Gauge("sim.heap_depth")
 }
 
 type event struct {
@@ -39,6 +55,7 @@ func (h eventHeap) empty() bool   { return len(h) == 0 }
 func (e *Engine) push(at Time, f func()) {
 	e.seq++
 	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: f})
+	e.gDepth.Set(int64(len(e.queue)))
 }
 
 // Now reports the current simulated time.
@@ -76,6 +93,7 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(event)
 	e.now = ev.at
 	e.nexec++
+	e.cEvents.Inc()
 	ev.fn()
 	return true
 }

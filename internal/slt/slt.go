@@ -13,7 +13,11 @@
 // pulses that outlived their SLT entry are still reused.
 package slt
 
-import "fmt"
+import (
+	"fmt"
+
+	"qtenon/internal/metrics"
+)
 
 // Geometry and field widths from Table 2 / Figure 7.
 const (
@@ -155,7 +159,29 @@ type SLT struct {
 	owner map[uint32]uint32
 
 	Stats Stats
+	m     instruments
 }
+
+// instruments are the registry handles one SLT updates alongside its
+// Stats. A bank shares one set of handles across its qubits, so the
+// registry sees bank-wide totals.
+type instruments struct {
+	lookups, hits, qspaceHits, allocs, evictions *metrics.Counter
+}
+
+func resolveInstruments(reg *metrics.Registry) instruments {
+	return instruments{
+		lookups:    reg.Counter("slt.lookups"),
+		hits:       reg.Counter("slt.hits"),
+		qspaceHits: reg.Counter("slt.qspace_hits"),
+		allocs:     reg.Counter("slt.allocs"),
+		evictions:  reg.Counter("slt.evictions"),
+	}
+}
+
+// Instrument attaches this SLT to a metrics registry. Nil registry
+// detaches.
+func (s *SLT) Instrument(reg *metrics.Registry) { s.m = resolveInstruments(reg) }
 
 // New returns an SLT with the given geometry backed by qspace and alloc.
 // ways and setCount default to the paper's 2×128 via DefaultNew.
@@ -191,6 +217,7 @@ func (s *SLT) QSpace() *QSpace { return s.qspace }
 // the four-step workflow of Figure 7.
 func (s *SLT) Lookup(typ uint8, data uint32) Result {
 	s.Stats.Lookups++
+	s.m.lookups.Inc()
 	index, tag := Key(typ, data)
 	set := s.entries[int(index)%s.sets]
 
@@ -201,6 +228,7 @@ func (s *SLT) Lookup(typ uint8, data uint32) Result {
 				set[w].count++
 			}
 			s.Stats.Hits++
+			s.m.hits.Inc()
 			return Result{QAddr: set[w].qaddr, Outcome: HitSLT}
 		}
 	}
@@ -221,6 +249,7 @@ func (s *SLT) Lookup(typ uint8, data uint32) Result {
 		// Write back to QSpace (address translation by tag).
 		s.qspace.Store(set[victim].tag, set[victim].qaddr)
 		s.Stats.Evictions++
+		s.m.evictions.Inc()
 		evicted = true
 	}
 
@@ -230,6 +259,7 @@ func (s *SLT) Lookup(typ uint8, data uint32) Result {
 	if existing, ok := s.qspace.Lookup(tag); ok {
 		qaddr = existing
 		s.Stats.QSpaceHits++
+		s.m.qspaceHits.Inc()
 	} else {
 		slot := uint32(s.alloc.Alloc())
 		if oldTag, used := s.owner[slot]; used {
@@ -242,6 +272,7 @@ func (s *SLT) Lookup(typ uint8, data uint32) Result {
 		qaddr = slot
 		outcome = Allocated
 		s.Stats.Allocs++
+		s.m.allocs.Inc()
 	}
 
 	// ❹ Update the SLT entry to reflect the current state.
@@ -254,6 +285,7 @@ func (s *SLT) Lookup(typ uint8, data uint32) Result {
 // gate regenerates its pulse.
 func (s *SLT) AllocateAlways() uint32 {
 	s.Stats.Lookups++
+	s.m.lookups.Inc()
 	slot := uint32(s.alloc.Alloc())
 	if oldTag, used := s.owner[slot]; used {
 		s.qspace.Invalidate(oldTag)
@@ -261,6 +293,7 @@ func (s *SLT) AllocateAlways() uint32 {
 		delete(s.owner, slot)
 	}
 	s.Stats.Allocs++
+	s.m.allocs.Inc()
 	return slot
 }
 
@@ -303,6 +336,16 @@ func NewBank(nqubits, pulseEntries int) *Bank {
 
 // Qubit returns qubit q's SLT.
 func (b *Bank) Qubit(q int) *SLT { return b.tables[q] }
+
+// Instrument attaches every SLT in the bank to a metrics registry with
+// one shared set of handles, so "slt.*" counters report bank-wide
+// totals. Nil registry detaches.
+func (b *Bank) Instrument(reg *metrics.Registry) {
+	m := resolveInstruments(reg)
+	for _, s := range b.tables {
+		s.m = m
+	}
+}
 
 // NQubits reports the bank width.
 func (b *Bank) NQubits() int { return len(b.tables) }

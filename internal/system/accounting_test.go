@@ -26,8 +26,8 @@ func TestInstructionAccounting(t *testing.T) {
 	if _, err := s.Evaluate(w.InitialParams); err != nil {
 		t.Fatal(err)
 	}
-	if s.Instructions() != 4 {
-		t.Errorf("after setup eval: %d instructions, want 4", s.Instructions())
+	if n := s.Result().InstructionCount; n != 4 {
+		t.Errorf("after setup eval: %d instructions, want 4", n)
 	}
 	// Second eval with 1 changed parameter: +1 q_update +3 control = +4.
 	p := append([]float64(nil), w.InitialParams...)
@@ -35,15 +35,15 @@ func TestInstructionAccounting(t *testing.T) {
 	if _, err := s.Evaluate(p); err != nil {
 		t.Fatal(err)
 	}
-	if s.Instructions() != 8 {
-		t.Errorf("after delta eval: %d instructions, want 8", s.Instructions())
+	if n := s.Result().InstructionCount; n != 8 {
+		t.Errorf("after delta eval: %d instructions, want 8", n)
 	}
 	// Third eval with nothing changed: only the 3 control instructions.
 	if _, err := s.Evaluate(p); err != nil {
 		t.Fatal(err)
 	}
-	if s.Instructions() != 11 {
-		t.Errorf("after no-op eval: %d instructions, want 11", s.Instructions())
+	if n := s.Result().InstructionCount; n != 11 {
+		t.Errorf("after no-op eval: %d instructions, want 11", n)
 	}
 }
 
@@ -65,7 +65,7 @@ func TestSLTStatsExposed(t *testing.T) {
 	if _, err := opt.GradientDescent(s.Evaluate, w.InitialParams, o); err != nil {
 		t.Fatal(err)
 	}
-	st := s.SLTStats()
+	st := s.bank.TotalStats()
 	if st.Lookups == 0 {
 		t.Fatal("no SLT lookups recorded")
 	}
@@ -93,17 +93,17 @@ func TestSubQuantumUpdateIsFree(t *testing.T) {
 	if _, err := s.Evaluate(w.InitialParams); err != nil {
 		t.Fatal(err)
 	}
-	before := s.Instructions()
-	beforePulses := s.PulsesGenerated()
+	before := s.Result()
 	p := append([]float64(nil), w.InitialParams...)
 	p[0] += 1e-9 // below the 2π/2^24 ≈ 3.7e-7 rad quantum
 	if _, err := s.Evaluate(p); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.Instructions() - before; got != 3 {
+	after := s.Result()
+	if got := after.InstructionCount - before.InstructionCount; got != 3 {
 		t.Errorf("sub-quantum update issued %d instructions, want 3 (no q_update)", got)
 	}
-	if s.PulsesGenerated() != beforePulses {
+	if after.PulsesGenerated != before.PulsesGenerated {
 		t.Error("sub-quantum update regenerated pulses")
 	}
 }

@@ -27,14 +27,8 @@ func TestSystemsComputeIdenticalTrajectories(t *testing.T) {
 			qcfg.Shots = 200
 			bcfg := baseline.DefaultConfig()
 			bcfg.Shots = 200
-			qres, err := Run(qcfg, w, true, o)
-			if err != nil {
-				t.Fatal(err)
-			}
-			bres, err := baseline.Run(bcfg, w, true, o)
-			if err != nil {
-				t.Fatal(err)
-			}
+			qres := runQtenon(t, qcfg, w, true, o)
+			bres := runBase(t, bcfg, w, true, o)
 			if len(qres.History) != len(bres.History) {
 				t.Fatalf("history lengths differ: %d vs %d", len(qres.History), len(bres.History))
 			}
@@ -60,11 +54,7 @@ func TestQuantumTimeInvariantAcrossConfigs(t *testing.T) {
 		cfg := DefaultConfig(host.Rocket())
 		cfg.Shots = 100
 		mut(&cfg)
-		res, err := Run(cfg, w, true, o)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return int64(res.Breakdown.Quantum)
+		return int64(runQtenon(t, cfg, w, true, o).Breakdown.Quantum)
 	}
 	ref := mk(func(*Config) {})
 	variants := map[string]func(*Config){

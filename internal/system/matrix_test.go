@@ -57,10 +57,7 @@ func TestConfigurationMatrix(t *testing.T) {
 	var refQuantum int64
 	results := make([]int64, len(variants))
 	for i, v := range variants {
-		res, err := Run(v.cfg, w, true, o)
-		if err != nil {
-			t.Fatalf("%s: %v", v.name, err)
-		}
+		res := runQtenon(t, v.cfg, w, true, o)
 		b := res.Breakdown
 		if b.Quantum <= 0 || b.Total() < b.Quantum {
 			t.Errorf("%s: inconsistent breakdown %v", v.name, b)

@@ -22,14 +22,8 @@ func TestNoisyExecutionRunsAndDiverges(t *testing.T) {
 	noisy := clean
 	noisy.Noise = quantum.Noise{Readout: 0.2}
 
-	cres, err := Run(clean, w, true, o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	nres, err := Run(noisy, w, true, o)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cres := runQtenon(t, clean, w, true, o)
+	nres := runQtenon(t, noisy, w, true, o)
 	// Heavy readout noise changes the observed costs...
 	same := true
 	for i := range cres.History {
@@ -74,12 +68,12 @@ func TestTraceRecordsEvaluationSpans(t *testing.T) {
 		t.Fatal("no spans recorded")
 	}
 	// The quantum lane's busy time matches the accounted quantum time.
-	if got, want := rec.Busy("quantum"), s.Breakdown().Quantum; got != want {
+	if got, want := rec.Busy("quantum"), s.Result().Breakdown.Quantum; got != want {
 		t.Errorf("trace quantum busy %v != accounted %v", got, want)
 	}
 	// The virtual clock equals the total accounted time.
-	if s.Now() != s.Breakdown().Total() {
-		t.Errorf("Now %v != breakdown total %v", s.Now(), s.Breakdown().Total())
+	if s.Now() != s.Result().Breakdown.Total() {
+		t.Errorf("Now %v != breakdown total %v", s.Now(), s.Result().Breakdown.Total())
 	}
 	// Disabling the tracer stops recording.
 	s.SetTrace(nil)

@@ -43,11 +43,11 @@ func TestSystemWithCouplingMap(t *testing.T) {
 		t.Errorf("costs = %v, %v; want ≤ 0", costA, costR)
 	}
 	// Routing adds gates → more pulses generated and longer quantum time.
-	if sr.PulsesGenerated() <= sa.PulsesGenerated() {
-		t.Errorf("routed pulses %d not above all-to-all %d", sr.PulsesGenerated(), sa.PulsesGenerated())
+	if sr.Result().PulsesGenerated <= sa.Result().PulsesGenerated {
+		t.Errorf("routed pulses %d not above all-to-all %d", sr.Result().PulsesGenerated, sa.Result().PulsesGenerated)
 	}
-	if sr.Breakdown().Quantum <= sa.Breakdown().Quantum {
-		t.Errorf("routed quantum %v not above all-to-all %v", sr.Breakdown().Quantum, sa.Breakdown().Quantum)
+	if sr.Result().Breakdown.Quantum <= sa.Result().Breakdown.Quantum {
+		t.Errorf("routed quantum %v not above all-to-all %v", sr.Result().Breakdown.Quantum, sa.Result().Breakdown.Quantum)
 	}
 }
 

@@ -16,11 +16,12 @@ package system
 import (
 	"fmt"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/circuit"
 	"qtenon/internal/compiler"
 	"qtenon/internal/host"
 	"qtenon/internal/mapper"
-	"qtenon/internal/opt"
+	"qtenon/internal/metrics"
 	"qtenon/internal/pipeline"
 	"qtenon/internal/qcc"
 	"qtenon/internal/quantum"
@@ -134,11 +135,48 @@ type System struct {
 	// timeline (now advances by each evaluation's wall time).
 	tracer *trace.Recorder
 	now    sim.Time
+	// engine drives each evaluation's timeline as discrete events at
+	// absolute simulated times, so the simulation kernel's own metrics
+	// (events executed, heap depth) are live during real runs.
+	engine sim.Engine
 
 	// measureCursor walks the .measure ring as shots land.
 	measureCursor int
 	// hostResultBase is the host-memory address results synchronize to.
 	hostResultBase uint64
+
+	// reg is this instance's private metrics registry; m holds the
+	// handles the system itself updates (components below the system —
+	// bus, RBQ, SLT bank, pipeline, engine — hold their own handles into
+	// the same registry).
+	reg *metrics.Registry
+	m   sysInstruments
+}
+
+// sysInstruments are the system-level registry handles: the controller
+// instruction mix (Table 1 ops the run issues), host-side timers, and
+// run/quantum totals.
+type sysInstruments struct {
+	qSet, qUpdate, qGen, qRun, qAcquire *metrics.Counter
+	hostPrep, hostPost                  *metrics.Timer
+	evaluations                         *metrics.Counter
+	shots                               *metrics.Counter
+	shotTime                            *metrics.Timer
+}
+
+func resolveSysInstruments(reg *metrics.Registry) sysInstruments {
+	return sysInstruments{
+		qSet:        reg.Counter("controller.instr.q_set"),
+		qUpdate:     reg.Counter("controller.instr.q_update"),
+		qGen:        reg.Counter("controller.instr.q_gen"),
+		qRun:        reg.Counter("controller.instr.q_run"),
+		qAcquire:    reg.Counter("controller.instr.q_acquire"),
+		hostPrep:    reg.Timer("host.prep_ps"),
+		hostPost:    reg.Timer("host.post_ps"),
+		evaluations: reg.Counter("system.evaluations"),
+		shots:       reg.Counter("quantum.shots"),
+		shotTime:    reg.Timer("quantum.shot_time_ps"),
+	}
 }
 
 // New builds a Qtenon system for the workload.
@@ -197,7 +235,7 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		cfg:            cfg,
 		workload:       w,
 		cacheCfg:       cacheCfg,
@@ -213,14 +251,26 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 		layout:         layout,
 		controller:     sim.NewClock(cfg.ControllerHz),
 		hostResultBase: 0x9000_0000,
-	}, nil
+		reg:            metrics.NewRegistry(),
+	}
+	// One private registry per instance: every layer reports into it, so
+	// a snapshot covers the whole machine while concurrently-owned
+	// instances (factory-minted sweep points) stay isolated.
+	s.engine.Instrument(s.reg)
+	s.bus.Instrument(s.reg)
+	s.rbq.Instrument(s.reg)
+	s.barrier.Instrument(s.reg)
+	s.pipe.Instrument(s.reg)
+	s.m = resolveSysInstruments(s.reg)
+	return s, nil
 }
+
+// Metrics exposes the instance's metrics registry — live counters from
+// every layer of the machine, snapshot-able at any point of a run.
+func (s *System) Metrics() *metrics.Registry { return s.reg }
 
 // Program exposes the compiled program (for the harness).
 func (s *System) Program() *compiler.Program { return s.prog }
-
-// SLTStats exposes aggregate skip-lookup-table statistics.
-func (s *System) SLTStats() slt.Stats { return s.bank.TotalStats() }
 
 // transferCycles runs a real bus transfer of `beats` beats and returns
 // its cycle count.
@@ -252,6 +302,7 @@ func (s *System) setup(params []float64) (sim.Time, error) {
 		return 0, err
 	}
 	s.instrs++ // one bulk q_set
+	s.m.qSet.Inc()
 	t := s.controller.Cycles(cycles)
 	s.comm.QSet += t
 	s.cur = append([]float64(nil), params...)
@@ -263,6 +314,7 @@ func (s *System) setup(params []float64) (sim.Time, error) {
 // opt.Evaluator.
 func (s *System) Evaluate(params []float64) (float64, error) {
 	s.evals++
+	s.m.evaluations.Inc()
 	nq := s.exec.NQubits
 
 	var hostPrep, commPrep sim.Time
@@ -288,6 +340,7 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 		commPrep += t
 		s.comm.QUpdate += t
 		s.instrs += len(deltas)
+		s.m.qUpdate.Add(int64(len(deltas)))
 		s.cur = append(s.cur[:0], params...)
 	} else {
 		// Software disabled: full recompile + full q_set re-upload.
@@ -305,6 +358,7 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 		commPrep += t
 		s.comm.QSet += t
 		s.instrs++
+		s.m.qSet.Inc()
 		s.cur = append(s.cur[:0], params...)
 	}
 
@@ -314,6 +368,7 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 		return 0, err
 	}
 	s.instrs++
+	s.m.qGen.Inc()
 	s.pulsesGen += int64(pipeRes.Generated)
 	pulsePrep := s.controller.Cycles(pipeRes.Cycles)
 
@@ -324,6 +379,10 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 		return 0, err
 	}
 	s.instrs += 2 // q_run + q_acquire
+	s.m.qRun.Inc()
+	s.m.qAcquire.Inc()
+	s.m.shots.Add(int64(s.cfg.Shots))
+	s.m.shotTime.Observe(int64(ex.ShotTime))
 
 	k := 1
 	if s.cfg.Batching {
@@ -370,19 +429,36 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 	s.hostActivity += tl.HostActivity
 	s.commActivity += tl.CommActivity
 
-	if s.tracer != nil {
-		t0 := s.now
-		s.tracer.Add("host", "prep", t0, t0+hostPrep)
-		s.tracer.Add("rocc/bus", "q_update/q_set", t0+hostPrep, t0+hostPrep+commPrep)
-		s.tracer.Add("pipeline", "q_gen", t0+hostPrep+commPrep, t0+hostPrep+commPrep+pulsePrep)
-		qStart := t0 + hostPrep + commPrep + pulsePrep
-		qEnd := qStart + tl.Quantum
-		s.tracer.Add("quantum", "q_run", qStart, qEnd)
-		if tail := tl.Total - (hostPrep + commPrep + pulsePrep + tl.Quantum); tail > 0 {
-			s.tracer.Add("host", "post+update", qEnd, qEnd+tail)
-		}
+	s.m.hostPrep.Observe(int64(hostPrep))
+	tail := tl.Total - (hostPrep + commPrep + pulsePrep + tl.Quantum)
+	if tail > 0 {
+		s.m.hostPost.Observe(int64(tail))
 	}
-	s.now += tl.Total
+
+	// Lay the evaluation out on the event engine at absolute simulated
+	// times: each phase of the q_update* → q_gen → q_run ∥ q_acquire
+	// sequence becomes one event that records its span (the recorder is
+	// nil-safe, so untraced runs schedule the same timeline). FIFO order
+	// within a timestamp keeps span insertion order stable even for
+	// zero-length phases.
+	t0 := s.now
+	qStart := t0 + hostPrep + commPrep + pulsePrep
+	qEnd := qStart + tl.Quantum
+	s.engine.At(t0, func() { s.tracer.Add("host", "prep", t0, t0+hostPrep) })
+	s.engine.At(t0+hostPrep, func() {
+		s.tracer.Add("rocc/bus", "q_update/q_set", t0+hostPrep, t0+hostPrep+commPrep)
+	})
+	s.engine.At(t0+hostPrep+commPrep, func() { s.tracer.Add("pipeline", "q_gen", t0+hostPrep+commPrep, qStart) })
+	s.engine.At(qStart, func() { s.tracer.Add("quantum", "q_run", qStart, qEnd) })
+	end := t0 + tl.Total
+	if tail > 0 {
+		s.engine.At(qEnd, func() { s.tracer.Add("host", "post+update", qEnd, qEnd+tail) })
+	}
+	if end < qEnd {
+		end = qEnd
+	}
+	s.engine.At(end, func() {}) // end-of-evaluation marker
+	s.now = s.engine.Run()
 	// The q_acquire share of exposed communication is whatever was not
 	// prep traffic (q_set/q_update).
 	if tail := tl.ExposedComm - commPrep; tail > 0 {
@@ -396,22 +472,6 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 	return s.workload.Cost(outcomes), nil
 }
 
-// Breakdown returns accumulated end-to-end accounting.
-func (s *System) Breakdown() report.Breakdown { return s.breakdown }
-
-// Comm returns the per-instruction communication breakdown.
-func (s *System) Comm() report.CommBreakdown { return s.comm }
-
-// Evaluations reports the number of cost evaluations run.
-func (s *System) Evaluations() int { return s.evals }
-
-// Instructions reports issued Qtenon ISA operations (Table 1).
-func (s *System) Instructions() int { return s.instrs }
-
-// PulsesGenerated reports total PGU syntheses (Table 5's computation
-// requirement).
-func (s *System) PulsesGenerated() int64 { return s.pulsesGen }
-
 // SetTrace attaches a span recorder; pass nil to disable. Spans are laid
 // out on a virtual timeline that advances by each evaluation's duration.
 func (s *System) SetTrace(r *trace.Recorder) { s.tracer = r }
@@ -420,41 +480,40 @@ func (s *System) SetTrace(r *trace.Recorder) { s.tracer = r }
 // evaluations so far).
 func (s *System) Now() sim.Time { return s.now }
 
-// HostActivity reports total host busy time including work overlapped
-// with quantum execution — Figure 16(b)'s "host computation time".
-func (s *System) HostActivity() sim.Time { return s.hostActivity }
-
-// CommActivity reports total transmission occupancy including overlapped
-// transfers.
-func (s *System) CommActivity() sim.Time { return s.commActivity }
-
-// Run executes a full optimization on a fresh system.
-func Run(cfg Config, w *vqa.Workload, useSPSA bool, o opt.Options) (report.RunResult, error) {
-	s, err := New(cfg, w)
-	if err != nil {
-		return report.RunResult{}, err
-	}
-	var res opt.Result
-	if useSPSA {
-		res, err = opt.SPSA(s.Evaluate, w.InitialParams, o)
-	} else {
-		res, err = opt.GradientDescent(s.Evaluate, w.InitialParams, o)
-	}
-	if err != nil {
-		return report.RunResult{}, err
-	}
+// Result reports everything accumulated so far as one report.RunResult —
+// the Backend accounting surface. History is the optimizer's to fill
+// (backend.RunOn overwrites it); Evaluations here counts Evaluate calls,
+// which agrees with the optimizer on a fresh instance.
+func (s *System) Result() report.RunResult {
 	return report.RunResult{
 		Breakdown:        s.breakdown,
 		Comm:             s.comm,
-		History:          res.History,
-		Evaluations:      res.Evaluations,
+		Evaluations:      s.evals,
 		InstructionCount: s.instrs,
 		HostActivity:     s.hostActivity,
 		CommActivity:     s.commActivity,
 		PulsesGenerated:  s.pulsesGen,
 		SLTHitRate:       s.bank.TotalStats().HitRate(),
-	}, nil
+	}
 }
+
+// Factory mints independent Qtenon systems from one configuration — the
+// backend.Factory for the tightly coupled machine. Each instance owns
+// its full hardware stack and metrics registry, so factory-spawned
+// systems can be evaluated concurrently.
+type Factory struct {
+	Cfg Config
+}
+
+// New implements backend.Factory.
+func (f Factory) New(w *vqa.Workload) (backend.Backend, error) { return New(f.Cfg, w) }
+
+// Interface conformance.
+var (
+	_ backend.Backend      = (*System)(nil)
+	_ backend.Instrumented = (*System)(nil)
+	_ backend.Factory      = Factory{}
+)
 
 // Sanity hook: the RoCC encodings must stay consistent with the ISA the
 // compiler/scheduler assume. This is compile-time documentation more

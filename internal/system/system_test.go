@@ -3,9 +3,11 @@ package system
 import (
 	"testing"
 
+	"qtenon/internal/backend"
 	"qtenon/internal/baseline"
 	"qtenon/internal/host"
 	"qtenon/internal/opt"
+	"qtenon/internal/report"
 	"qtenon/internal/sched"
 	"qtenon/internal/sim"
 	"qtenon/internal/vqa"
@@ -18,6 +20,35 @@ func smallQAOA(t *testing.T) *vqa.Workload {
 		t.Fatal(err)
 	}
 	return w
+}
+
+// runQtenon drives a full optimization through the shared backend run
+// loop on a factory-minted Qtenon system.
+func runQtenon(t *testing.T, cfg Config, w *vqa.Workload, spsa bool, o opt.Options) report.RunResult {
+	t.Helper()
+	alg := backend.GD
+	if spsa {
+		alg = backend.SPSA
+	}
+	res, err := backend.Run(Factory{Cfg: cfg}, w, alg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runBase is the same loop on the decoupled baseline.
+func runBase(t *testing.T, cfg baseline.Config, w *vqa.Workload, spsa bool, o opt.Options) report.RunResult {
+	t.Helper()
+	alg := backend.GD
+	if spsa {
+		alg = backend.SPSA
+	}
+	res, err := backend.Run(baseline.Factory{Cfg: cfg}, w, alg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestNewValidation(t *testing.T) {
@@ -49,18 +80,19 @@ func TestEvaluateProducesCostAndAccounting(t *testing.T) {
 	if cost > 0 {
 		t.Errorf("MaxCut cost = %v, want ≤ 0", cost)
 	}
-	b := s.Breakdown()
+	res := s.Result()
+	b := res.Breakdown
 	if b.Quantum <= 0 {
 		t.Error("no quantum time")
 	}
 	if b.Total() <= b.Quantum {
 		t.Error("no classical time at all")
 	}
-	if s.Evaluations() != 1 || s.Instructions() < 4 {
-		t.Errorf("evals=%d instrs=%d", s.Evaluations(), s.Instructions())
+	if res.Evaluations != 1 || res.InstructionCount < 4 {
+		t.Errorf("evals=%d instrs=%d", res.Evaluations, res.InstructionCount)
 	}
 	// First evaluation generates every pulse once.
-	if s.PulsesGenerated() == 0 {
+	if res.PulsesGenerated == 0 {
 		t.Error("no pulses generated on first evaluation")
 	}
 }
@@ -76,8 +108,9 @@ func TestIncrementalSecondEvalIsCheap(t *testing.T) {
 	if _, err := s.Evaluate(w.InitialParams); err != nil {
 		t.Fatal(err)
 	}
-	firstPulses := s.PulsesGenerated()
-	firstClassical := s.Breakdown().Classical()
+	first := s.Result()
+	firstPulses := first.PulsesGenerated
+	firstClassical := first.Breakdown.Classical()
 
 	// Shift one parameter (the GD pattern).
 	params := append([]float64(nil), w.InitialParams...)
@@ -85,8 +118,9 @@ func TestIncrementalSecondEvalIsCheap(t *testing.T) {
 	if _, err := s.Evaluate(params); err != nil {
 		t.Fatal(err)
 	}
-	secondPulses := s.PulsesGenerated() - firstPulses
-	secondClassical := s.Breakdown().Classical() - firstClassical
+	second := s.Result()
+	secondPulses := second.PulsesGenerated - firstPulses
+	secondClassical := second.Breakdown.Classical() - firstClassical
 	// Only the gates bound to parameter 0 regenerate: far fewer than the
 	// full program.
 	if secondPulses >= firstPulses/2 {
@@ -97,11 +131,11 @@ func TestIncrementalSecondEvalIsCheap(t *testing.T) {
 	}
 	// Repeating identical parameters: zero q_update traffic and zero new
 	// pulses.
-	before := s.PulsesGenerated()
+	before := s.Result().PulsesGenerated
 	if _, err := s.Evaluate(params); err != nil {
 		t.Fatal(err)
 	}
-	if s.PulsesGenerated() != before {
+	if s.Result().PulsesGenerated != before {
 		t.Error("identical parameters regenerated pulses")
 	}
 }
@@ -122,7 +156,7 @@ func TestCommBreakdownPopulated(t *testing.T) {
 	if _, err := s.Evaluate(params); err != nil {
 		t.Fatal(err)
 	}
-	c := s.Comm()
+	c := s.Result().Comm
 	if c.QSet <= 0 {
 		t.Error("no q_set time recorded")
 	}
@@ -147,11 +181,7 @@ func TestFineGrainedBeatsFENCEEndToEnd(t *testing.T) {
 		cfg := DefaultConfig(host.Rocket())
 		cfg.Shots = 100
 		cfg.Sync = mode
-		res, err := Run(cfg, w, true, o)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Breakdown.Total()
+		return runQtenon(t, cfg, w, true, o).Breakdown.Total()
 	}
 	fence, fine := run(sched.FENCE), run(sched.FineGrained)
 	if fine >= fence {
@@ -169,10 +199,7 @@ func TestBatchingReducesHostActivity(t *testing.T) {
 		cfg := DefaultConfig(host.Rocket())
 		cfg.Shots = 200
 		cfg.Batching = batching
-		res, err := Run(cfg, w, true, o)
-		if err != nil {
-			t.Fatal(err)
-		}
+		res := runQtenon(t, cfg, w, true, o)
 		return res.HostActivity, res.CommActivity
 	}
 	bHost, bComm := run(true)
@@ -189,14 +216,8 @@ func TestHardwareOnlySlowerThanFull(t *testing.T) {
 	w := smallQAOA(t)
 	o := opt.DefaultOptions()
 	o.Iterations = 2
-	full, err := Run(DefaultConfig(host.Rocket()), w, true, o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	hw, err := Run(HardwareOnlyConfig(host.Rocket()), w, true, o)
-	if err != nil {
-		t.Fatal(err)
-	}
+	full := runQtenon(t, DefaultConfig(host.Rocket()), w, true, o)
+	hw := runQtenon(t, HardwareOnlyConfig(host.Rocket()), w, true, o)
 	if full.Breakdown.Total() >= hw.Breakdown.Total() {
 		t.Errorf("full Qtenon %v not below hardware-only %v", full.Breakdown.Total(), hw.Breakdown.Total())
 	}
@@ -209,14 +230,8 @@ func TestInstructionEconomyVsBaseline(t *testing.T) {
 	w := smallQAOA(t)
 	o := opt.DefaultOptions()
 	o.Iterations = 2
-	qres, err := Run(DefaultConfig(host.Rocket()), w, false, o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bres, err := baseline.Run(baseline.DefaultConfig(), w, false, o)
-	if err != nil {
-		t.Fatal(err)
-	}
+	qres := runQtenon(t, DefaultConfig(host.Rocket()), w, false, o)
+	bres := runBase(t, baseline.DefaultConfig(), w, false, o)
 	if qres.InstructionCount*10 > bres.InstructionCount {
 		t.Errorf("Qtenon %d instrs vs baseline %d: advantage < 10×",
 			qres.InstructionCount, bres.InstructionCount)
@@ -235,14 +250,8 @@ func TestEndToEndSpeedupShape64q(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := opt.DefaultOptions() // 10 iterations, the paper's setting
-	base, err := baseline.Run(baseline.DefaultConfig(), w, true, o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	qt, err := Run(DefaultConfig(host.BoomL()), w, true, o)
-	if err != nil {
-		t.Fatal(err)
-	}
+	base := runBase(t, baseline.DefaultConfig(), w, true, o)
+	qt := runQtenon(t, DefaultConfig(host.BoomL()), w, true, o)
 	speedup := float64(base.Breakdown.Total()) / float64(qt.Breakdown.Total())
 	// Paper: 11.5× for 64q VQE under SPSA. Accept the right regime.
 	if speedup < 5 || speedup > 25 {

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"qtenon/internal/hw"
+	"qtenon/internal/metrics"
 )
 
 // Config sets bus geometry and latency.
@@ -78,6 +79,19 @@ type Bus struct {
 	// Stats
 	Issued, Completed int64
 	BusyCycles        int64
+
+	cIssued, cCompleted, cBusy *metrics.Counter
+	gOutstanding               *metrics.Gauge
+}
+
+// Instrument attaches the bus to a metrics registry: beats issued and
+// completed, cycles with in-flight traffic, and the outstanding-request
+// gauge (high-water = peak tag pressure). Nil registry detaches.
+func (b *Bus) Instrument(reg *metrics.Registry) {
+	b.cIssued = reg.Counter("tilelink.beats_issued")
+	b.cCompleted = reg.Counter("tilelink.beats_completed")
+	b.cBusy = reg.Counter("tilelink.busy_cycles")
+	b.gOutstanding = reg.Gauge("tilelink.outstanding")
 }
 
 // NewBus returns a bus with the given configuration.
@@ -120,6 +134,8 @@ func (b *Bus) TrySubmit(req Request) (tag int, ok bool) {
 		readyAt: b.now + int64(lat),
 	})
 	b.Issued++
+	b.cIssued.Inc()
+	b.gOutstanding.Set(int64(len(b.fly)))
 	return tag, true
 }
 
@@ -130,6 +146,7 @@ func (b *Bus) Tick() {
 	b.now++
 	if len(b.fly) > 0 {
 		b.BusyCycles++
+		b.cBusy.Inc()
 	}
 	var rest []inflight
 	var done []Response
@@ -155,5 +172,6 @@ func (b *Bus) PopResponse() (Response, bool) {
 	b.ready = b.ready[1:]
 	b.tags.Release(r.Tag)
 	b.Completed++
+	b.cCompleted.Inc()
 	return r, true
 }

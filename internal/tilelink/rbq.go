@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"qtenon/internal/hw"
+	"qtenon/internal/metrics"
 )
 
 // RBQ is the Reorder Buffer Queue of Figure 5: one small queue per tag
@@ -13,6 +14,15 @@ import (
 type RBQ struct {
 	perTag []*hw.Queue[uint64]
 	order  *hw.Queue[int]
+
+	gPending *metrics.Gauge
+}
+
+// Instrument attaches the RBQ to a metrics registry: the
+// "tilelink.rbq_pending" gauge tracks issued-but-unpopped requests
+// (high-water = peak reorder pressure). Nil registry detaches.
+func (r *RBQ) Instrument(reg *metrics.Registry) {
+	r.gPending = reg.Gauge("tilelink.rbq_pending")
 }
 
 // NewRBQ builds an RBQ for `tags` tag values with per-tag queue depth
@@ -31,7 +41,13 @@ func NewRBQ(tags, depth, orderDepth int) *RBQ {
 // PushOrder records that a request with the given tag was issued; call at
 // issue time. It reports false when the order queue is full (the issuer
 // must stall).
-func (r *RBQ) PushOrder(tag int) bool { return r.order.Push(tag) }
+func (r *RBQ) PushOrder(tag int) bool {
+	ok := r.order.Push(tag)
+	if ok {
+		r.gPending.Set(int64(r.order.Len()))
+	}
+	return ok
+}
 
 // Deliver enqueues an arrived response. It errors on unknown tags or
 // per-tag overflow, both protocol violations.
@@ -69,6 +85,15 @@ func (r *RBQ) Pending() int { return r.order.Len() }
 // requires, selected by the SIndex starting lane.
 type WBQ struct {
 	lanes []*hw.Queue[uint32]
+
+	gOccupancy *metrics.Gauge
+}
+
+// Instrument attaches the WBQ to a metrics registry: the
+// "tilelink.wbq_occupancy" gauge tracks buffered words (high-water =
+// peak width-adaptation backlog). Nil registry detaches.
+func (w *WBQ) Instrument(reg *metrics.Registry) {
+	w.gOccupancy = reg.Gauge("tilelink.wbq_occupancy")
 }
 
 // WBQLanes is the paper's lane count.
@@ -98,6 +123,7 @@ func (w *WBQ) Enqueue(sindex int, words []uint32) bool {
 	for i, v := range words {
 		w.lanes[(sindex+i)%len(w.lanes)].Push(v)
 	}
+	w.gOccupancy.Set(int64(w.Occupancy()))
 	return true
 }
 
@@ -126,6 +152,14 @@ type Barrier struct {
 	synced map[uint64]bool
 	// Queries counts barrier queries (each costs one RoCC cycle).
 	Queries int64
+
+	cQueries *metrics.Counter
+}
+
+// Instrument attaches the barrier to a metrics registry: every Query
+// counts into "tilelink.barrier_queries". Nil registry detaches.
+func (b *Barrier) Instrument(reg *metrics.Registry) {
+	b.cQueries = reg.Counter("tilelink.barrier_queries")
 }
 
 // NewBarrier returns an empty barrier.
@@ -147,6 +181,7 @@ func (b *Barrier) MarkRange(addr uint64, n int, stride uint64) {
 // query transaction.
 func (b *Barrier) Query(addr uint64) bool {
 	b.Queries++
+	b.cQueries.Inc()
 	return b.synced[addr]
 }
 

@@ -27,8 +27,25 @@ func (s Span) Duration() sim.Time { return s.End - s.Start }
 // Recorder accumulates spans. The zero Recorder is ready; a nil
 // *Recorder is a valid no-op sink, so instrumented code never needs nil
 // checks.
+//
+// Spans are indexed per resource as they arrive, and per-resource busy
+// time is memoized, so Busy and Render stay cheap on multi-thousand-span
+// traces instead of re-scanning and re-sorting the full span list on
+// every call.
 type Recorder struct {
 	spans []Span
+	// byResource holds each resource's span indices in insertion order;
+	// order lists resources in first-seen order.
+	byResource map[string][]int
+	order      []string
+	// busy memoizes Busy per resource; an entry is valid while its n
+	// still matches the resource's span count.
+	busy map[string]busyEntry
+}
+
+type busyEntry struct {
+	n    int
+	busy sim.Time
 }
 
 // Add records a span. Calling on a nil recorder is a no-op.
@@ -39,6 +56,13 @@ func (r *Recorder) Add(resource, label string, start, end sim.Time) {
 	if end < start {
 		start, end = end, start
 	}
+	if r.byResource == nil {
+		r.byResource = make(map[string][]int)
+	}
+	if _, seen := r.byResource[resource]; !seen {
+		r.order = append(r.order, resource)
+	}
+	r.byResource[resource] = append(r.byResource[resource], len(r.spans))
 	r.spans = append(r.spans, Span{Resource: resource, Label: label, Start: start, End: end})
 }
 
@@ -59,51 +83,65 @@ func (r *Recorder) Len() int {
 }
 
 // Busy sums the time a resource was occupied (overlapping spans on the
-// same resource are merged first).
+// same resource are merged first). The result is memoized per resource
+// and recomputed only after new spans land on that resource, so repeated
+// queries — the Render pattern — are O(1).
 func (r *Recorder) Busy(resource string) sim.Time {
 	if r == nil {
 		return 0
 	}
-	var ivals []Span
-	for _, s := range r.spans {
-		if s.Resource == resource {
-			ivals = append(ivals, s)
-		}
+	idxs := r.byResource[resource]
+	if e, ok := r.busy[resource]; ok && e.n == len(idxs) {
+		return e.busy
 	}
-	sort.Slice(ivals, func(i, j int) bool { return ivals[i].Start < ivals[j].Start })
+	starts := make([]sim.Time, len(idxs))
+	ends := make([]sim.Time, len(idxs))
+	for i, k := range idxs {
+		starts[i], ends[i] = r.spans[k].Start, r.spans[k].End
+	}
+	sort.Sort(&intervalsByStart{starts, ends})
 	var busy sim.Time
 	var curEnd sim.Time = -1
 	var curStart sim.Time
-	for _, s := range ivals {
-		if curEnd < 0 || s.Start > curEnd {
+	for i := range starts {
+		if curEnd < 0 || starts[i] > curEnd {
 			if curEnd >= 0 {
 				busy += curEnd - curStart
 			}
-			curStart, curEnd = s.Start, s.End
-		} else if s.End > curEnd {
-			curEnd = s.End
+			curStart, curEnd = starts[i], ends[i]
+		} else if ends[i] > curEnd {
+			curEnd = ends[i]
 		}
 	}
 	if curEnd >= 0 {
 		busy += curEnd - curStart
 	}
+	if r.busy == nil {
+		r.busy = make(map[string]busyEntry)
+	}
+	r.busy[resource] = busyEntry{n: len(idxs), busy: busy}
 	return busy
+}
+
+// intervalsByStart sorts parallel (start, end) slices by start time.
+type intervalsByStart struct {
+	starts []sim.Time
+	ends   []sim.Time
+}
+
+func (v *intervalsByStart) Len() int           { return len(v.starts) }
+func (v *intervalsByStart) Less(i, j int) bool { return v.starts[i] < v.starts[j] }
+func (v *intervalsByStart) Swap(i, j int) {
+	v.starts[i], v.starts[j] = v.starts[j], v.starts[i]
+	v.ends[i], v.ends[j] = v.ends[j], v.ends[i]
 }
 
 // Resources lists resources in first-seen order.
 func (r *Recorder) Resources() []string {
-	if r == nil {
+	if r == nil || len(r.order) == 0 {
 		return nil
 	}
-	var out []string
-	seen := map[string]bool{}
-	for _, s := range r.spans {
-		if !seen[s.Resource] {
-			seen[s.Resource] = true
-			out = append(out, s.Resource)
-		}
-	}
-	return out
+	return append([]string(nil), r.order...)
 }
 
 // Render draws a fixed-width timeline, one lane per resource:
@@ -155,17 +193,14 @@ func (r *Recorder) Render(width int) string {
 		for i := range lane {
 			lane[i] = ' '
 		}
-		count := 0
-		for _, s := range r.spans {
-			if s.Resource != res {
-				continue
-			}
-			count++
+		idxs := r.byResource[res]
+		for _, k := range idxs {
+			s := r.spans[k]
 			for c := col(s.Start); c <= col(s.End); c++ {
 				lane[c] = '#'
 			}
 		}
-		fmt.Fprintf(&sb, "%-*s |%s| %d span(s), busy %v\n", nameW, res, lane, count, r.Busy(res))
+		fmt.Fprintf(&sb, "%-*s |%s| %d span(s), busy %v\n", nameW, res, lane, len(idxs), r.Busy(res))
 	}
 	return sb.String()
 }
