@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,16 +23,46 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		quick  = flag.Bool("quick", false, "run reduced-scale experiments")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		csvDir = flag.String("csv", "", "also write sweep data (fig11/fig12) as CSV into this directory")
+		exp        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick      = flag.Bool("quick", false, "run reduced-scale experiments")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir     = flag.String("csv", "", "also write sweep data (fig11/fig12) as CSV into this directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(bench.Names(), "\n"))
 		return
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	if *csvDir != "" {
 		sc := bench.Full
@@ -65,6 +97,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", path, len(srows))
+		fmt.Println(bench.CacheStatsLine())
 		return
 	}
 	sc := bench.Full
@@ -85,4 +118,5 @@ func main() {
 		fmt.Print(out)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Println(bench.CacheStatsLine())
 }

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"qtenon/internal/backend"
@@ -41,8 +43,35 @@ func main() {
 		noisy       = flag.Bool("noise", false, "run the chip with typical NISQ error rates")
 		coupling    = flag.String("coupling", "all", "all | line | grid (Qtenon qubit connectivity; non-all routes the circuit)")
 		showMetrics = flag.Bool("metrics", false, "dump each run's full metrics-registry snapshot as JSON")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	kind, err := parseWorkload(*workload)
 	if err != nil {

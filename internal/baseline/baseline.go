@@ -83,6 +83,10 @@ type System struct {
 	// for the workload (isa.GenerateEQASM) rather than estimated.
 	programLen int
 
+	// boundScratch is the reusable bound-circuit shadow handed to the
+	// chip each evaluation (Execute consumes it synchronously).
+	boundScratch *circuit.Circuit
+
 	// Accumulated accounting.
 	breakdown report.Breakdown
 	evals     int
@@ -187,7 +191,8 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 	s.m.pulses.Add(int64(s.pulses))
 
 	// 4. Quantum execution.
-	bound := s.workload.Circuit.Bind(params)
+	bound := s.workload.Circuit.BindInto(s.boundScratch, params)
+	s.boundScratch = bound
 	ex, err := s.chip.Execute(bound, s.cfg.Shots)
 	if err != nil {
 		return 0, err

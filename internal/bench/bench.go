@@ -94,23 +94,29 @@ func runQtenon(kind vqa.Kind, nq int, core host.Core, spsa bool, sc Scale) (repo
 }
 
 func runQtenonCfg(cfg system.Config, kind vqa.Kind, nq int, spsa bool, sc Scale) (report.RunResult, error) {
-	w, err := vqa.New(kind, nq)
-	if err != nil {
-		return report.RunResult{}, err
-	}
 	cfg.Shots = sc.Shots()
-	return backend.Run(system.Factory{Cfg: cfg}, w, algorithm(spsa), sc.options())
+	o := sc.options()
+	return cache.do(qtenonKey(cfg, kind, nq, spsa, o), func() (report.RunResult, error) {
+		w, err := vqa.New(kind, nq)
+		if err != nil {
+			return report.RunResult{}, err
+		}
+		return backend.Run(system.Factory{Cfg: cfg}, w, algorithm(spsa), o)
+	})
 }
 
 // runBaseline executes a full optimization on the decoupled baseline.
 func runBaseline(kind vqa.Kind, nq int, spsa bool, sc Scale) (report.RunResult, error) {
-	w, err := vqa.New(kind, nq)
-	if err != nil {
-		return report.RunResult{}, err
-	}
 	cfg := baseline.DefaultConfig()
 	cfg.Shots = sc.Shots()
-	return backend.Run(baseline.Factory{Cfg: cfg}, w, algorithm(spsa), sc.options())
+	o := sc.options()
+	return cache.do(baselineKey(cfg, kind, nq, spsa, o), func() (report.RunResult, error) {
+		w, err := vqa.New(kind, nq)
+		if err != nil {
+			return report.RunResult{}, err
+		}
+		return backend.Run(baseline.Factory{Cfg: cfg}, w, algorithm(spsa), o)
+	})
 }
 
 // forEachPoint evaluates fn(i) for every sweep point, fanning the

@@ -66,19 +66,33 @@ func (c *Circuit) Validate() error {
 // Bind returns a copy of the circuit with every parameter reference
 // replaced by its concrete angle from params.
 func (c *Circuit) Bind(params []float64) *Circuit {
+	return c.BindInto(nil, params)
+}
+
+// BindInto is Bind over recycled storage: when dst is non-nil its gate
+// slice's capacity is reused instead of allocating a fresh copy, and dst
+// itself is returned. The system models call this once per cost
+// evaluation with a dedicated scratch circuit, so steady-state binding
+// allocates nothing. dst must not alias c, and its previous contents are
+// destroyed.
+func (c *Circuit) BindInto(dst *Circuit, params []float64) *Circuit {
 	if len(params) != c.NumParams {
 		panic(fmt.Sprintf("circuit: Bind with %d params, want %d", len(params), c.NumParams))
 	}
-	out := c.Clone()
-	for i := range out.Gates {
-		g := &out.Gates[i]
+	if dst == nil {
+		dst = &Circuit{}
+	}
+	dst.NQubits = c.NQubits
+	dst.NumParams = 0
+	dst.Gates = append(dst.Gates[:0], c.Gates...)
+	for i := range dst.Gates {
+		g := &dst.Gates[i]
 		if g.Param != NoParam {
 			g.Theta = params[g.Param]
 			g.Param = NoParam
 		}
 	}
-	out.NumParams = 0
-	return out
+	return dst
 }
 
 // CountKind reports how many gates of kind k the circuit contains.

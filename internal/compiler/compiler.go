@@ -37,6 +37,11 @@ type Program struct {
 	// PulseEntriesNeeded counts distinct drive pulses (2-qubit gates
 	// count twice).
 	PulseEntriesNeeded int
+
+	// imgScratch is Load's reusable regfile-image buffer; repeated loads
+	// (the non-incremental configuration re-uploads every evaluation) do
+	// not re-allocate it.
+	imgScratch []uint32
 }
 
 // Compile lowers a parameterized circuit for a controller with geometry
@@ -127,14 +132,33 @@ func (p *Program) TotalEntries() int {
 
 // RegfileImage renders a parameter vector as quantized .regfile contents.
 func (p *Program) RegfileImage(params []float64) ([]uint32, error) {
+	return p.AppendRegfileImage(nil, params)
+}
+
+// AppendRegfileImage appends the quantized .regfile image of params to
+// dst and returns the extended slice — the reuse-friendly form of
+// RegfileImage (pass a recycled dst[:0] to render images without
+// allocating).
+func (p *Program) AppendRegfileImage(dst []uint32, params []float64) ([]uint32, error) {
 	if len(params) != len(p.ParamReg) {
 		return nil, fmt.Errorf("compiler: %d params for %d registers", len(params), len(p.ParamReg))
 	}
-	img := make([]uint32, len(params))
+	start := len(dst)
+	if tot := start + len(params); tot <= cap(dst) {
+		dst = dst[:tot]
+	} else {
+		next := make([]uint32, tot)
+		copy(next, dst)
+		dst = next
+	}
+	img := dst[start:]
+	for i := range img {
+		img[i] = 0
+	}
 	for i, v := range params {
 		img[p.ParamReg[i]] = qcc.QuantizeAngle(v)
 	}
-	return img, nil
+	return dst, nil
 }
 
 // Delta describes one incremental update: write register Reg with the
@@ -150,17 +174,24 @@ type Delta struct {
 // This is the incremental-compilation payoff measured in Table 5 — under
 // gradient descent only one parameter moves per evaluation.
 func (p *Program) Diff(oldParams, newParams []float64) ([]Delta, error) {
+	return p.AppendDiff(nil, oldParams, newParams)
+}
+
+// AppendDiff appends the planned deltas to dst and returns the extended
+// slice — the reuse-friendly form of Diff. The hot loop of the full
+// Qtenon system calls this once per cost evaluation, so recycling the
+// delta buffer keeps the incremental-compilation path allocation-free.
+func (p *Program) AppendDiff(dst []Delta, oldParams, newParams []float64) ([]Delta, error) {
 	if len(oldParams) != len(p.ParamReg) || len(newParams) != len(p.ParamReg) {
 		return nil, fmt.Errorf("compiler: Diff arity mismatch (%d/%d vs %d)", len(oldParams), len(newParams), len(p.ParamReg))
 	}
-	var deltas []Delta
 	for i := range newParams {
 		nv := qcc.QuantizeAngle(newParams[i])
 		if qcc.QuantizeAngle(oldParams[i]) != nv {
-			deltas = append(deltas, Delta{Param: i, Reg: p.ParamReg[i], Value: nv})
+			dst = append(dst, Delta{Param: i, Reg: p.ParamReg[i], Value: nv})
 		}
 	}
-	return deltas, nil
+	return dst, nil
 }
 
 // Load writes the program image and regfile into a controller cache, the
@@ -173,10 +204,11 @@ func (p *Program) Load(cache *qcc.Cache, params []float64) error {
 			}
 		}
 	}
-	img, err := p.RegfileImage(params)
+	img, err := p.AppendRegfileImage(p.imgScratch[:0], params)
 	if err != nil {
 		return err
 	}
+	p.imgScratch = img
 	for reg, v := range img {
 		if err := cache.WriteReg(reg, v, qcc.HostAccess); err != nil {
 			return err

@@ -15,6 +15,7 @@ package mapper
 
 import (
 	"fmt"
+	"strings"
 
 	"qtenon/internal/circuit"
 )
@@ -86,6 +87,23 @@ func Grid(rows, cols int) *Coupling {
 
 // NQubits reports the physical qubit count.
 func (c *Coupling) NQubits() int { return c.n }
+
+// Fingerprint renders the coupling graph as a content string (qubit
+// count plus edge list in adjacency order). Caches key on it instead of
+// the *Coupling pointer, so two maps with identical structure hit the
+// same entry regardless of identity.
+func (c *Coupling) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d:", c.n)
+	for q, nbrs := range c.adj {
+		for _, r := range nbrs {
+			if q < r {
+				fmt.Fprintf(&b, "%d-%d,", q, r)
+			}
+		}
+	}
+	return b.String()
+}
 
 // Adjacent reports whether two physical qubits are coupled.
 func (c *Coupling) Adjacent(a, b int) bool {

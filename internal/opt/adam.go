@@ -21,8 +21,9 @@ func Adam(eval Evaluator, initial []float64, o Options) (Result, error) {
 	v := make([]float64, len(params))
 	grad := make([]float64, len(params))
 	var res Result
+	var scr gradScratch
 	for iter := 1; iter <= o.Iterations; iter++ {
-		n, err := shiftGradient(eval, params, o.ShiftScale, o.Parallelism, grad)
+		n, err := shiftGradient(eval, params, o.ShiftScale, o.Parallelism, grad, &scr)
 		res.Evaluations += n
 		if err != nil {
 			return res, err

@@ -19,6 +19,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"qtenon/internal/par"
 )
 
 // Evaluator estimates the cost at a parameter vector.
@@ -75,16 +77,50 @@ func (o Options) validate(nparams int) error {
 	return nil
 }
 
+// gradScratch is the reusable working memory of one optimization run's
+// parameter-shift gradients: per-worker shifted parameter vectors plus
+// the value/error assembly arrays. The optimizer allocates it once and
+// every iteration's 2P evaluations reuse it — the gradient loop itself
+// is allocation-free in steady state.
+type gradScratch struct {
+	shifted [][]float64
+	vals    []float64
+	errs    []error
+}
+
+// ensure sizes the scratch for p parameters and `slots` concurrent
+// workers, growing lazily and keeping prior capacity.
+func (s *gradScratch) ensure(p, slots int) {
+	for len(s.shifted) < slots {
+		s.shifted = append(s.shifted, nil)
+	}
+	for i := 0; i < slots; i++ {
+		if cap(s.shifted[i]) < p {
+			s.shifted[i] = make([]float64, p)
+		}
+		s.shifted[i] = s.shifted[i][:p]
+	}
+	if cap(s.vals) < 2*p {
+		s.vals = make([]float64, 2*p)
+		s.errs = make([]error, 2*p)
+	}
+	s.vals = s.vals[:2*p]
+	s.errs = s.errs[:2*p]
+}
+
 // shiftGradient fills grad with the parameter-shift estimate at params:
 // grad[i] = (E(θ+s·e_i) − E(θ−s·e_i)) / 2. The 2P evaluations run
 // serially in the historical order when parallelism ≤ 1, or fan out
-// across up to `parallelism` goroutines otherwise; the gradient is
-// assembled by index, so both paths produce identical values. It
-// returns the number of evaluations performed (2P on success).
-func shiftGradient(eval Evaluator, params []float64, shift float64, parallelism int, grad []float64) (int, error) {
+// across up to `parallelism` worker slots otherwise (par.DoScratch, so
+// each concurrent evaluation owns a reused shifted-vector buffer); the
+// gradient is assembled by index, so both paths produce identical
+// values. It returns the number of evaluations performed (2P on
+// success).
+func shiftGradient(eval Evaluator, params []float64, shift float64, parallelism int, grad []float64, scr *gradScratch) (int, error) {
 	p := len(params)
 	if parallelism <= 1 {
-		shifted := make([]float64, p)
+		scr.ensure(p, 1)
+		shifted := scr.shifted[0]
 		for i := range params {
 			copy(shifted, params)
 			shifted[i] = params[i] + shift
@@ -101,26 +137,22 @@ func shiftGradient(eval Evaluator, params []float64, shift float64, parallelism 
 		}
 		return 2 * p, nil
 	}
-	vals := make([]float64, 2*p)
-	errs := make([]error, 2*p)
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for k := 0; k < 2*p; k++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(k int) {
-			defer func() { <-sem; wg.Done() }()
-			shifted := append([]float64(nil), params...)
-			i := k / 2
-			if k%2 == 0 {
-				shifted[i] = params[i] + shift
-			} else {
-				shifted[i] = params[i] - shift
-			}
-			vals[k], errs[k] = eval(shifted)
-		}(k)
+	scr.ensure(p, parallelism)
+	vals, errs := scr.vals, scr.errs
+	for k := range errs {
+		errs[k] = nil
 	}
-	wg.Wait()
+	par.DoScratch(2*p, parallelism, func(slot, k int) {
+		shifted := scr.shifted[slot]
+		copy(shifted, params)
+		i := k / 2
+		if k%2 == 0 {
+			shifted[i] = params[i] + shift
+		} else {
+			shifted[i] = params[i] - shift
+		}
+		vals[k], errs[k] = eval(shifted)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return 2 * p, err
@@ -165,8 +197,9 @@ func GradientDescent(eval Evaluator, initial []float64, o Options) (Result, erro
 	params := append([]float64(nil), initial...)
 	var res Result
 	grad := make([]float64, len(params))
+	var scr gradScratch
 	for iter := 0; iter < o.Iterations; iter++ {
-		n, err := shiftGradient(eval, params, o.ShiftScale, o.Parallelism, grad)
+		n, err := shiftGradient(eval, params, o.ShiftScale, o.Parallelism, grad, &scr)
 		res.Evaluations += n
 		if err != nil {
 			return res, err

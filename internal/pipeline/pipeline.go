@@ -65,6 +65,11 @@ type Pipeline struct {
 	bank  *slt.Bank
 	pgu   *pulse.PGU
 
+	// Per-run scratch (PGU states and the stage-3/4 request vectors),
+	// recycled across Run calls so the per-cycle loop does not allocate.
+	pguScratch  []pguState
+	boolScratch []bool
+
 	cProcessed, cGenerated, cSkipped *metrics.Counter
 	cStall, cQSpaceStall, cCycles    *metrics.Counter
 	gPGUBusy                         *metrics.Gauge
@@ -125,17 +130,32 @@ func (p *Pipeline) Run(items []WorkItem) (Result, error) {
 		return res, nil
 	}
 
-	pgus := make([]pguState, p.cfg.PGUs)
+	if cap(p.pguScratch) < p.cfg.PGUs {
+		p.pguScratch = make([]pguState, p.cfg.PGUs)
+		p.boolScratch = make([]bool, 2*p.cfg.PGUs)
+	}
+	pgus := p.pguScratch[:p.cfg.PGUs]
+	for i := range pgus {
+		pgus[i] = pguState{}
+	}
+	// reqs/free are the stage-4 and stage-3 per-cycle request vectors;
+	// splitting one scratch array keeps the cycle loop allocation-free.
+	reqs := p.boolScratch[:p.cfg.PGUs]
+	free := p.boolScratch[p.cfg.PGUs : 2*p.cfg.PGUs]
+	// A fresh arbiter per run keeps the round-robin grant rotation (and
+	// therefore cycle-exact timing) independent of prior runs.
 	arb := hw.NewArbiter(p.cfg.PGUs)
 	next := 0 // next item to fetch (stage 1 pointer)
 
-	// Stage latches.
-	var s2 *WorkItem  // fetched, awaiting decode
-	var s3 *job       // decoded, awaiting PGU dispatch
+	// Stage latches (value + valid flag, so latching never allocates).
+	var s2 WorkItem // fetched, awaiting decode
+	var s2v bool
+	var s3 job // decoded, awaiting PGU dispatch
+	var s3v bool
 	var s2stall int64 // stage-2 QSpace stall countdown
 
 	inflight := func() bool {
-		if s2 != nil || s3 != nil || s2stall > 0 {
+		if s2v || s3v || s2stall > 0 {
 			return true
 		}
 		for _, g := range pgus {
@@ -154,7 +174,6 @@ func (p *Pipeline) Run(items []WorkItem) (Result, error) {
 		}
 
 		// Stage 4: arbitrate one completed PGU and write back its pulse.
-		reqs := make([]bool, len(pgus))
 		for i := range pgus {
 			reqs[i] = pgus[i].done
 		}
@@ -183,14 +202,13 @@ func (p *Pipeline) Run(items []WorkItem) (Result, error) {
 
 		// Stage 3 dispatch: priority-encode a free PGU for the s3 job.
 		stalled := false
-		if s3 != nil {
-			free := make([]bool, len(pgus))
+		if s3v {
 			for i := range pgus {
 				free[i] = !pgus[i].busy && !pgus[i].done
 			}
 			if g := hw.PriorityEncoder(free); g >= 0 {
-				pgus[g] = pguState{busy: true, remain: p.cfg.PGULatency, current: *s3}
-				s3 = nil
+				pgus[g] = pguState{busy: true, remain: p.cfg.PGULatency, current: s3}
+				s3v = false
 				busy := int64(0)
 				for i := range pgus {
 					if pgus[i].busy {
@@ -208,26 +226,25 @@ func (p *Pipeline) Run(items []WorkItem) (Result, error) {
 		if s2stall > 0 {
 			s2stall--
 			res.QSpaceCycles++
-		} else if !stalled && s2 != nil && s3 == nil {
-			j, generate, extra, err := p.decode(*s2)
+		} else if !stalled && s2v && !s3v {
+			j, generate, extra, err := p.decode(s2)
 			if err != nil {
 				return res, err
 			}
 			res.Processed++
 			s2stall = extra
 			if generate {
-				s3 = &j
+				s3, s3v = j, true
 			} else {
 				res.Skipped++
 			}
-			s2 = nil
+			s2v = false
 		}
 
 		// Stage 1: fetch.
-		if !stalled && s2stall == 0 && s2 == nil && next < len(items) {
-			it := items[next]
+		if !stalled && s2stall == 0 && !s2v && next < len(items) {
+			s2, s2v = items[next], true
 			next++
-			s2 = &it
 		}
 	}
 	res.Cycles = cycles

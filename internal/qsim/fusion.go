@@ -67,17 +67,50 @@ const (
 	opDiag
 )
 
-// fuser accumulates the fused program.
+// fuser accumulates the fused program. It doubles as reusable scratch:
+// reset recycles the ops slice (including retired per-op term storage)
+// and the pending-matrix arrays, so steady-state fusion of same-shaped
+// circuits allocates nothing.
 type fuser struct {
 	ops []fusedOp
-	// pend holds the not-yet-emitted single-qubit matrix per qubit.
-	pend []*[4]complex128
+	// pendM/pendV hold the not-yet-emitted single-qubit matrix per qubit
+	// (value + valid flag, so latching a matrix never allocates).
+	pendM [][4]complex128
+	pendV []bool
 	// batch indexes the open diagonal batch in ops, -1 when none.
 	batch int
 	// batchQ marks qubits the open batch acts on; batchBlocked marks
 	// qubits touched by operations emitted after the batch. A new term
 	// on a blocked qubit cannot execute at the batch's position.
 	batchQ, batchBlocked uint32
+}
+
+// reset prepares the fuser for a circuit over nq qubits, keeping storage.
+func (f *fuser) reset(nq int) {
+	f.ops = f.ops[:0]
+	if cap(f.pendM) < nq {
+		f.pendM = make([][4]complex128, nq)
+		f.pendV = make([]bool, nq)
+	}
+	f.pendM = f.pendM[:nq]
+	f.pendV = f.pendV[:nq]
+	for i := range f.pendV {
+		f.pendV[i] = false
+	}
+	f.batch = -1
+	f.batchQ, f.batchBlocked = 0, 0
+}
+
+// appendOp appends a term-free op (op1Q, opCX, or a placeholder),
+// reusing slice capacity like append.
+func (f *fuser) appendOp(op fusedOp) {
+	n := len(f.ops)
+	if n < cap(f.ops) {
+		f.ops = f.ops[:n+1]
+		f.ops[n] = op
+		return
+	}
+	f.ops = append(f.ops, op)
 }
 
 // matMul returns a·b for row-major 2×2 matrices {m00,m01,m10,m11}.
@@ -92,11 +125,12 @@ func isDiagonal(m [4]complex128) bool { return m[1] == 0 && m[2] == 0 }
 
 // merge1Q folds a single-qubit matrix into the qubit's pending run.
 func (f *fuser) merge1Q(q int, m [4]complex128) {
-	if p := f.pend[q]; p != nil {
-		*p = matMul(m, *p)
+	if f.pendV[q] {
+		f.pendM[q] = matMul(m, f.pendM[q])
 		return
 	}
-	f.pend[q] = &m
+	f.pendM[q] = m
+	f.pendV[q] = true
 }
 
 // flush emits qubit q's pending matrix, if any. Placement rules, each
@@ -111,13 +145,13 @@ func (f *fuser) merge1Q(q int, m [4]complex128) {
 //     the batch and everything after it avoid q, keeping the batch
 //     extendable; otherwise it is appended (and blocks q).
 func (f *fuser) flush(q int) {
-	p := f.pend[q]
-	if p == nil {
+	if !f.pendV[q] {
 		return
 	}
-	f.pend[q] = nil
+	p := f.pendM[q]
+	f.pendV[q] = false
 	bit := uint32(1) << q
-	if isDiagonal(*p) {
+	if isDiagonal(p) {
 		t := diagTerm{sA: q, sB: q, f: [4]complex128{p[0], p[3], p[0], p[3]}}
 		if f.batch >= 0 && f.batchBlocked&bit == 0 {
 			f.ops[f.batch].terms = append(f.ops[f.batch].terms, t)
@@ -127,24 +161,34 @@ func (f *fuser) flush(q int) {
 		f.openBatch(t, bit)
 		return
 	}
-	op := fusedOp{kind: op1Q, q: q, u: *p}
+	op := fusedOp{kind: op1Q, q: q, u: p}
 	if f.batch >= 0 && (f.batchQ|f.batchBlocked)&bit == 0 {
-		f.ops = append(f.ops, fusedOp{})
+		f.appendOp(fusedOp{})
 		copy(f.ops[f.batch+1:], f.ops[f.batch:])
 		f.ops[f.batch] = op
 		f.batch++
 		return
 	}
-	f.ops = append(f.ops, op)
+	f.appendOp(op)
 	if f.batch >= 0 {
 		f.batchBlocked |= bit
 	}
 }
 
-// openBatch appends a fresh diagonal batch holding t.
+// openBatch appends a fresh diagonal batch holding t. When the ops
+// slice's capacity covers the new slot, the retired op there (from a
+// previous fuse through this scratch) donates its term storage, so
+// re-fusing same-shaped circuits allocates no term slices.
 func (f *fuser) openBatch(t diagTerm, qbits uint32) {
-	f.ops = append(f.ops, fusedOp{kind: opDiag, terms: []diagTerm{t}})
-	f.batch = len(f.ops) - 1
+	n := len(f.ops)
+	if n < cap(f.ops) {
+		f.ops = f.ops[:n+1]
+		terms := append(f.ops[n].terms[:0], t)
+		f.ops[n] = fusedOp{kind: opDiag, terms: terms}
+	} else {
+		f.ops = append(f.ops, fusedOp{kind: opDiag, terms: []diagTerm{t}})
+	}
+	f.batch = n
 	f.batchQ, f.batchBlocked = qbits, 0
 }
 
@@ -164,8 +208,10 @@ func (f *fuser) addDiag(t diagTerm, a, b int) {
 
 // fuse compiles a bound gate list into fused operations. Measure and
 // explicit identity gates are dropped (Run samples the pre-measurement
-// state, matching Apply's semantics).
-func fuse(gates []circuit.Gate) []fusedOp {
+// state, matching Apply's semantics). f is reusable scratch (nil for a
+// one-shot fuse); the returned slice aliases its storage and is valid
+// until the next fuse through the same scratch.
+func fuse(gates []circuit.Gate, f *fuser) []fusedOp {
 	maxQ := 0
 	for _, g := range gates {
 		if g.Qubit > maxQ {
@@ -175,7 +221,10 @@ func fuse(gates []circuit.Gate) []fusedOp {
 			maxQ = g.Qubit2
 		}
 	}
-	f := &fuser{pend: make([]*[4]complex128, maxQ+1), batch: -1}
+	if f == nil {
+		f = &fuser{}
+	}
+	f.reset(maxQ + 1)
 	for _, g := range gates {
 		switch g.Kind {
 		case circuit.I, circuit.Measure:
@@ -195,7 +244,7 @@ func fuse(gates []circuit.Gate) []fusedOp {
 		case circuit.CX:
 			f.flush(g.Qubit)
 			f.flush(g.Qubit2)
-			f.ops = append(f.ops, fusedOp{kind: opCX, q: g.Qubit, q2: g.Qubit2})
+			f.appendOp(fusedOp{kind: opCX, q: g.Qubit, q2: g.Qubit2})
 			if f.batch >= 0 {
 				f.batchBlocked |= uint32(1)<<g.Qubit | uint32(1)<<g.Qubit2
 			}
@@ -208,7 +257,7 @@ func fuse(gates []circuit.Gate) []fusedOp {
 			f.merge1Q(g.Qubit, m)
 		}
 	}
-	for q := range f.pend {
+	for q := range f.pendV {
 		f.flush(q)
 	}
 	return f.ops

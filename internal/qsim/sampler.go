@@ -17,6 +17,12 @@ import (
 // only on the shot count, so a fixed caller seed produces an identical
 // outcome stream at any GOMAXPROCS — and no worker ever touches the
 // caller's (non-concurrency-safe) *rand.Rand.
+//
+// Memory discipline: the alias build works out of the owning State's
+// scratch arena (probability snapshot, scaling array, worklists), so
+// rebuilding the table after a state mutation reuses the previous
+// build's storage. Only the table itself (prob/alias) is freshly
+// allocated — it outlives the build and may be shared by clones.
 
 // sampleBlock is the per-worker shot granularity.
 const sampleBlock = 4096
@@ -29,10 +35,20 @@ type aliasTable struct {
 	alias []int32
 }
 
+// aliasBuildScratch is the reusable working memory of newAliasTable:
+// everything the build touches that does not escape into the table.
+type aliasBuildScratch struct {
+	scaled       []float64
+	small, large []int32
+}
+
 // newAliasTable builds the table in O(N) from an (approximately
 // normalized) distribution. Exact zeros stay impossible: a zero-weight
-// slot keeps probability 0 and always forwards to its alias.
-func newAliasTable(p []float64) *aliasTable {
+// slot keeps probability 0 and always forwards to its alias. scratch
+// may be nil; when provided, its buffers are recycled across builds.
+// spare, when non-nil and unshared, donates its prob/alias storage to
+// the new table (every slot is overwritten by the build).
+func newAliasTable(p []float64, scratch *aliasBuildScratch, spare *aliasTable) *aliasTable {
 	n := len(p)
 	total := par.SumFloat64(n, func(lo, hi int) float64 {
 		var t float64
@@ -44,11 +60,21 @@ func newAliasTable(p []float64) *aliasTable {
 	if total <= 0 {
 		total = 1
 	}
-	t := &aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
-	scaled := make([]float64, n)
+	var local aliasBuildScratch
+	if scratch == nil {
+		scratch = &local
+	}
+	t := spare
+	if t == nil || cap(t.prob) < n {
+		t = &aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	} else {
+		t.prob = t.prob[:n]
+		t.alias = t.alias[:n]
+	}
+	scaled := growFloat64(scratch.scaled[:0], n)
+	small := scratch.small[:0]
+	large := scratch.large[:0]
 	scale := float64(n) / total
-	small := make([]int32, 0, n)
-	large := make([]int32, 0, n)
 	for i, v := range p {
 		scaled[i] = v * scale
 		if scaled[i] < 1 {
@@ -78,6 +104,9 @@ func newAliasTable(p []float64) *aliasTable {
 		t.prob[s] = 1
 		t.alias[s] = s
 	}
+	scratch.scaled = scaled
+	scratch.small = small
+	scratch.large = large
 	return t
 }
 
@@ -89,6 +118,20 @@ func (t *aliasTable) draw(rng *rand.Rand) int {
 		return i
 	}
 	return int(t.alias[i])
+}
+
+// ensureSampler returns the cached alias table, building it (through the
+// State's scratch arena) if a mutation invalidated it.
+func (s *State) ensureSampler() *aliasTable {
+	t := s.sampler
+	if t == nil {
+		s.probScratch = s.AppendProbabilities(s.probScratch[:0])
+		t = newAliasTable(s.probScratch, &s.buildScratch, s.spareTable)
+		s.spareTable = nil
+		s.sampler = t
+		s.samplerShared = false
+	}
+	return t
 }
 
 // Sample draws `shots` full-register measurement outcomes (basis-state
@@ -103,17 +146,30 @@ func (s *State) Sample(shots int, rng *rand.Rand) []uint64 {
 	if shots <= 0 {
 		return nil
 	}
-	t := s.sampler
-	if t == nil {
-		t = newAliasTable(s.Probabilities())
-		s.sampler = t
+	return s.AppendSample(nil, shots, rng)
+}
+
+// AppendSample appends `shots` outcomes to dst and returns the extended
+// slice — the reuse-friendly form of Sample (pass a recycled dst[:0] to
+// make steady-state sampling allocation-free apart from the cached
+// table). The outcome stream is identical to Sample's for the same rng
+// state.
+func (s *State) AppendSample(dst []uint64, shots int, rng *rand.Rand) []uint64 {
+	if shots <= 0 {
+		return dst
 	}
-	out := make([]uint64, shots)
+	t := s.ensureSampler()
+	start := len(dst)
+	if tot := start + shots; tot <= cap(dst) {
+		dst = dst[:tot]
+	} else {
+		next := make([]uint64, tot)
+		copy(next, dst)
+		dst = next
+	}
+	out := dst[start:]
 	nblocks := (shots + sampleBlock - 1) / sampleBlock
-	seeds := make([]int64, nblocks)
-	for i := range seeds {
-		seeds[i] = rng.Int63()
-	}
+	seeds := s.appendSeeds(nblocks, rng)
 	par.Do(nblocks, func(b int) {
 		sub := rand.New(rand.NewSource(seeds[b]))
 		lo := b * sampleBlock
@@ -125,5 +181,17 @@ func (s *State) Sample(shots int, rng *rand.Rand) []uint64 {
 			out[k] = uint64(t.draw(sub))
 		}
 	})
-	return out
+	return dst
+}
+
+// appendSeeds draws one sub-stream seed per block into a reusable
+// State-owned buffer (the draws happen serially on the caller's rng,
+// exactly as before).
+func (s *State) appendSeeds(nblocks int, rng *rand.Rand) []int64 {
+	seeds := s.seedScratch[:0]
+	for i := 0; i < nblocks; i++ {
+		seeds = append(seeds, rng.Int63())
+	}
+	s.seedScratch = seeds
+	return seeds
 }

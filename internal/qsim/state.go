@@ -51,6 +51,20 @@ type State struct {
 	// operation invalidates it, so repeated sampling of an unchanged
 	// state pays the O(2^n) build exactly once.
 	sampler *aliasTable
+	// samplerShared records that a Clone may also reference the cached
+	// table; a shared table must never be recycled. spareTable holds the
+	// most recently retired unshared table so rebuilds after a mutation
+	// reuse its prob/alias storage.
+	samplerShared bool
+	spareTable    *aliasTable
+	// probScratch, buildScratch, seedScratch and fuseScratch are reusable
+	// working memory for the sampler and fusion paths. They never escape
+	// the State and are excluded from Clone, so reuse is safe even when
+	// clones share a cached sampler.
+	probScratch  []float64
+	buildScratch aliasBuildScratch
+	seedScratch  []int64
+	fuseScratch  fuser
 }
 
 // NewState returns |0...0⟩ over n qubits.
@@ -75,12 +89,41 @@ func (s *State) Amplitudes() []complex128 { return s.amp }
 // invalidates only its own reference on mutation.
 func (s *State) Clone() *State {
 	c := &State{n: s.n, amp: make([]complex128, len(s.amp)), sampler: s.sampler}
+	if s.sampler != nil {
+		// Both sides now reference the table; neither may recycle it.
+		s.samplerShared = true
+		c.samplerShared = true
+	}
 	copy(c.amp, s.amp)
 	return c
 }
 
 // invalidate drops the cached sampler; every mutating kernel calls it.
-func (s *State) invalidate() { s.sampler = nil }
+// An unshared table retires into spareTable so the next rebuild reuses
+// its storage instead of allocating 2^n table entries.
+func (s *State) invalidate() {
+	if s.sampler != nil && !s.samplerShared {
+		s.spareTable = s.sampler
+	}
+	s.sampler = nil
+}
+
+// Reset returns the state to |0…0⟩ in place, keeping the amplitude
+// storage. A Reset state is indistinguishable from a fresh NewState of
+// the same width — this is the arena primitive that lets one statevector
+// be reused across the optimizer's thousands of circuit executions
+// instead of allocating 2^n complex amplitudes per evaluation.
+func (s *State) Reset() {
+	s.invalidate()
+	amp := s.amp
+	par.For(len(amp), func(lo, hi int) {
+		a := amp[lo:hi]
+		for i := range a {
+			a[i] = 0
+		}
+	})
+	s.amp[0] = 1
+}
 
 // Norm returns the 2-norm of the state (1 for any valid state).
 func (s *State) Norm() float64 {
@@ -248,6 +291,16 @@ func (s *State) Apply(g circuit.Gate) {
 // (see fusion.go): runs of single-qubit gates collapse into one 2×2
 // apply and batches of diagonal gates into one phase sweep.
 func Run(c *circuit.Circuit) (*State, error) {
+	return RunReuse(nil, c)
+}
+
+// RunReuse is Run over recycled storage: when st is non-nil and matches
+// the circuit's register width, its amplitude array (and sampler
+// scratch) are reset and reused instead of allocating a fresh 2^n
+// statevector; otherwise a new State is allocated. The returned state is
+// numerically identical to Run's either way. Callers own st exclusively:
+// the previous contents (including any cached sampler) are destroyed.
+func RunReuse(st *State, c *circuit.Circuit) (*State, error) {
 	if c.NumParams != 0 {
 		return nil, fmt.Errorf("qsim: circuit has %d unbound parameters", c.NumParams)
 	}
@@ -257,23 +310,49 @@ func Run(c *circuit.Circuit) (*State, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	s := NewState(c.NQubits)
-	s.applyFused(fuse(c.Gates))
-	return s, nil
+	if st == nil || st.n != c.NQubits {
+		st = NewState(c.NQubits)
+	} else {
+		st.Reset()
+	}
+	st.applyFused(fuse(c.Gates, &st.fuseScratch))
+	return st, nil
 }
 
 // Probabilities returns the measurement distribution over all basis
 // states.
 func (s *State) Probabilities() []float64 {
+	return s.AppendProbabilities(nil)
+}
+
+// AppendProbabilities appends the measurement distribution over all
+// basis states to dst and returns the extended slice — the reuse-friendly
+// form of Probabilities (pass dst[:0] to recycle a prior snapshot's
+// storage).
+func (s *State) AppendProbabilities(dst []float64) []float64 {
 	amp := s.amp
-	p := make([]float64, len(amp))
+	start := len(dst)
+	dst = growFloat64(dst, len(amp))
+	p := dst[start:]
 	par.For(len(amp), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a := amp[i]
 			p[i] = real(a)*real(a) + imag(a)*imag(a)
 		}
 	})
-	return p
+	return dst
+}
+
+// growFloat64 extends dst by n elements, reusing capacity when
+// available. The extension's contents are unspecified; callers must
+// overwrite every element.
+func growFloat64(dst []float64, n int) []float64 {
+	if tot := len(dst) + n; tot <= cap(dst) {
+		return dst[:tot]
+	}
+	next := make([]float64, len(dst)+n)
+	copy(next, dst)
+	return next
 }
 
 // MeasureQubit projects qubit q, returning the outcome bit and collapsing

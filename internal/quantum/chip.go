@@ -54,6 +54,14 @@ type Chip struct {
 	timing  circuit.Timing
 	rng     *rand.Rand
 	exact   bool
+	// st and ps are the execution arenas: one statevector (exact) or one
+	// product state (surrogate) recycled across Execute calls, so the
+	// optimizer's thousands of evaluations do not each allocate a fresh
+	// 2^n amplitude array. Execution.Outcomes, by contrast, is always
+	// freshly allocated — callers hold several Executions' outcomes at
+	// once (e.g. readout mitigation pairs).
+	st *qsim.State
+	ps *ProductState
 }
 
 // NewChip returns a chip over n qubits with the paper's gate timing,
@@ -93,13 +101,20 @@ func (c *Chip) Execute(ct *circuit.Circuit, shots int) (Execution, error) {
 	shot := circuit.Duration(ct, c.timing)
 	var outcomes []uint64
 	if c.exact {
-		st, err := qsim.Run(ct)
+		st, err := qsim.RunReuse(c.st, ct)
 		if err != nil {
 			return Execution{}, err
 		}
+		c.st = st
 		outcomes = st.Sample(shots, c.rng)
 	} else {
-		ps := NewProductState(ct.NQubits)
+		ps := c.ps
+		if ps == nil || len(ps.a) != ct.NQubits {
+			ps = NewProductState(ct.NQubits)
+			c.ps = ps
+		} else {
+			ps.Reset()
+		}
 		for _, g := range ct.Gates {
 			ps.Apply(g)
 		}
@@ -113,6 +128,7 @@ func (c *Chip) Execute(ct *circuit.Circuit, shots int) (Execution, error) {
 // Z expectation (a mean-field decoupling of the interaction).
 type ProductState struct {
 	a, b []complex128 // per-qubit amplitudes of |0⟩ and |1⟩
+	p1   []float64    // Sample's per-qubit probability scratch
 }
 
 // NewProductState returns |0…0⟩.
@@ -122,6 +138,15 @@ func NewProductState(n int) *ProductState {
 		ps.a[i] = 1
 	}
 	return ps
+}
+
+// Reset returns the product state to |0…0⟩ in place, keeping its
+// storage — the surrogate counterpart of qsim's State.Reset.
+func (ps *ProductState) Reset() {
+	for i := range ps.a {
+		ps.a[i] = 1
+		ps.b[i] = 0
+	}
 }
 
 // P1 returns qubit q's |1⟩ probability.
@@ -197,7 +222,12 @@ func (ps *ProductState) Apply(g circuit.Gate) {
 // DESIGN.md on >64-qubit cost evaluation.
 func (ps *ProductState) Sample(shots int, rng *rand.Rand) []uint64 {
 	n := len(ps.a)
-	p1 := make([]float64, n)
+	p1 := ps.p1
+	if cap(p1) < n {
+		p1 = make([]float64, n)
+	}
+	p1 = p1[:n]
+	ps.p1 = p1
 	for q := range p1 {
 		p1[q] = ps.P1(q)
 	}

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"qtenon/internal/metrics"
 )
 
@@ -12,9 +10,28 @@ import (
 // simulation runs single-threaded, which keeps it deterministic.
 //
 // The zero Engine is ready to use.
+//
+// # Hot-path memory discipline
+//
+// The event queue is a hand-rolled 4-ary min-heap over a reusable
+// backing slice, fronted by a FIFO bucket holding the events of the
+// current minimum timestamp (a one-bucket calendar queue). Events are
+// stored by value — nothing is boxed through an interface, so Schedule
+// and Step are amortized zero-allocation once the backing storage has
+// grown to the simulation's peak simultaneity. Popped slots have their
+// closure cleared so executed events do not retain their captures
+// through the backing array, and Reset recycles the storage across
+// independent simulations.
+//
+// The bucket front exists for the dense same-timestamp bursts the
+// pipeline and tilelink models generate: while events at the current
+// minimum timestamp are being drained, newly scheduled events at that
+// same timestamp append and pop in O(1) ring operations instead of
+// paying two heap sifts each.
 type Engine struct {
 	now    Time
-	queue  eventHeap
+	heap   fourAryHeap
+	bucket eventRing // events at bucketAt, globally FIFO by seq
 	seq    uint64
 	nexec  uint64
 	halted bool
@@ -24,7 +41,7 @@ type Engine struct {
 }
 
 // Instrument attaches the engine to a metrics registry: every executed
-// event counts into "sim.events_executed" and the event-heap depth is
+// event counts into "sim.events_executed" and the event-queue depth is
 // tracked by the "sim.heap_depth" gauge (high-water = peak simultaneity).
 // A nil registry detaches (nil instruments are no-ops).
 func (e *Engine) Instrument(reg *metrics.Registry) {
@@ -38,24 +55,127 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (timestamp, schedule order).
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
-func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// fourAryHeap is a 4-ary min-heap of events ordered by (at, seq). The
+// wider fan-out halves the tree depth of a binary heap and keeps each
+// node's children in one or two cache lines, which wins on the
+// sift-down-dominated pop path. The backing slice is reused across
+// push/pop cycles; pop clears the vacated slot's fn so the array does
+// not retain executed closures.
+type fourAryHeap []event
+
+func (h *fourAryHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	// Sift up.
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s[i].before(&s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *fourAryHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // clear the vacated slot: no closure retention
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		min := i
+		c0 := 4*i + 1
+		last := c0 + 3
+		if last >= n {
+			last = n - 1
+		}
+		for c := c0; c <= last; c++ {
+			if s[c].before(&s[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// eventRing is a FIFO of events over a reusable ring buffer.
+type eventRing struct {
+	buf  []event
+	head int
+	n    int
+}
+
+func (r *eventRing) push(ev event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = ev
+	r.n++
+}
+
+func (r *eventRing) grow() {
+	next := make([]event, 2*len(r.buf)+4)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = next
+	r.head = 0
+}
+
+func (r *eventRing) pop() event {
+	ev := r.buf[r.head]
+	r.buf[r.head] = event{} // clear the slot: no closure retention
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+	return ev
+}
+
+func (r *eventRing) peek() *event { return &r.buf[r.head] }
+
+// reset empties the ring, clearing occupied slots so no closures stay
+// reachable, and keeps the buffer for reuse.
+func (r *eventRing) reset() {
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = event{}
+	}
+	r.head, r.n = 0, 0
+}
+
 func (e *Engine) push(at Time, f func()) {
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: f})
-	e.gDepth.Set(int64(len(e.queue)))
+	ev := event{at: at, seq: e.seq, fn: f}
+	// Calendar front: while the bucket is draining timestamp bucketAt,
+	// every new event at that timestamp appends to it in O(1). The heap
+	// never holds bucketAt events while the bucket is non-empty (refill
+	// drains them all), so FIFO order within the timestamp is global.
+	if e.bucket.n > 0 && at == e.bucket.peek().at {
+		e.bucket.push(ev)
+	} else {
+		e.heap.push(ev)
+	}
+	e.gDepth.Set(int64(e.Pending()))
 }
 
 // Now reports the current simulated time.
@@ -65,7 +185,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.nexec }
 
 // Pending reports the number of scheduled-but-unexecuted events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) + e.bucket.n }
 
 // Schedule runs fn after the given delay. A negative delay panics:
 // causality violations are always bugs in the caller.
@@ -84,35 +204,99 @@ func (e *Engine) At(t Time, fn func()) {
 	e.push(t, fn)
 }
 
+// peekNext returns the earliest pending event without removing it, or
+// nil when the queue is empty. The bucket holds the minimum timestamp
+// whenever it is non-empty, except that the heap may hold events at
+// strictly earlier times (scheduled via At below the bucket's
+// timestamp); comparing front-vs-root covers that case.
+func (e *Engine) peekNext() *event {
+	if e.bucket.n == 0 {
+		if len(e.heap) == 0 {
+			return nil
+		}
+		return &e.heap[0]
+	}
+	if len(e.heap) > 0 && e.heap[0].before(e.bucket.peek()) {
+		return &e.heap[0]
+	}
+	return e.bucket.peek()
+}
+
+// popNext removes and returns the earliest pending event. When the
+// bucket is empty it refills from the heap: every event sharing the
+// heap's minimum timestamp moves into the bucket (they come off the
+// heap in seq order), so the burst then drains — and extends — in O(1)
+// per event.
+func (e *Engine) popNext() event {
+	if e.bucket.n == 0 {
+		// Refill the calendar front with the next timestamp's burst.
+		at := e.heap[0].at
+		for len(e.heap) > 0 && e.heap[0].at == at {
+			e.bucket.push(e.heap.pop())
+		}
+	} else if len(e.heap) > 0 && e.heap[0].before(e.bucket.peek()) {
+		return e.heap.pop()
+	}
+	return e.bucket.pop()
+}
+
 // Step executes the single earliest pending event and reports whether one
 // was available.
 func (e *Engine) Step() bool {
-	if e.queue.empty() {
+	if e.Pending() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.popNext()
 	e.now = ev.at
 	e.nexec++
 	e.cEvents.Inc()
+	e.gDepth.Set(int64(e.Pending()))
 	ev.fn()
 	return true
 }
 
 // Run executes events until the queue drains or Halt is called, and
 // returns the final simulated time.
+//
+// A Halt that arrived before Run (including while the queue was empty)
+// is observed here: Run consumes it and returns immediately without
+// executing any events. Halts are never silently lost.
 func (e *Engine) Run() Time {
-	e.halted = false
-	for !e.halted && e.Step() {
+	if e.halted {
+		e.halted = false
+		return e.now
+	}
+	for e.Step() {
+		if e.halted {
+			e.halted = false
+			break
+		}
 	}
 	return e.now
 }
 
 // RunUntil executes events with timestamps ≤ deadline, then advances the
-// clock to the deadline (even if the queue drained earlier).
+// clock to the deadline (even if the queue drained earlier). Equal-time
+// ties at the deadline all execute: the boundary is inclusive.
+//
+// Like Run, a pending Halt is consumed on entry and stops RunUntil
+// before any event runs — and before the clock advances: halting means
+// "stop where you are".
 func (e *Engine) RunUntil(deadline Time) Time {
-	e.halted = false
-	for !e.halted && !e.queue.empty() && e.queue.peek().at <= deadline {
+	if e.halted {
+		e.halted = false
+		return e.now
+	}
+	for {
+		next := e.peekNext()
+		if next == nil || next.at > deadline {
+			break
+		}
 		e.Step()
+		if e.halted {
+			e.halted = false
+			return e.now
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -121,16 +305,39 @@ func (e *Engine) RunUntil(deadline Time) Time {
 }
 
 // Halt stops Run/RunUntil after the currently executing event returns.
-// Pending events remain queued.
+// Pending events remain queued. A Halt issued while no run loop is
+// active (even with an empty queue) persists until the next Run or
+// RunUntil observes — and consumes — it.
 func (e *Engine) Halt() { e.halted = true }
 
 // Advance moves the clock forward by d without running any events.
 // It panics if an earlier event is pending — skipping events would break
-// causality silently, which is never intended.
+// causality silently, which is never intended. An event at exactly the
+// target time stays pending: Advance's clock move loses the race, and
+// the event still executes at its own timestamp.
 func (e *Engine) Advance(d Time) {
 	t := e.now + d
-	if !e.queue.empty() && e.queue.peek().at < t {
+	if next := e.peekNext(); next != nil && next.at < t {
 		panic("sim: Advance would skip pending events")
 	}
 	e.now = t
+}
+
+// Reset returns the engine to its zero state — clock at 0, no pending
+// events, counters cleared, any pending Halt discarded — while keeping
+// the queue's backing storage (and metrics attachment) for reuse.
+// Dropped events have their closures cleared, so a Reset engine retains
+// nothing from the previous simulation. Sequence numbering restarts, so
+// a reused engine schedules and ties exactly like a fresh one.
+func (e *Engine) Reset() {
+	for i := range e.heap {
+		e.heap[i] = event{}
+	}
+	e.heap = e.heap[:0]
+	e.bucket.reset()
+	e.now = 0
+	e.seq = 0
+	e.nexec = 0
+	e.halted = false
+	e.gDepth.Set(0)
 }

@@ -1,0 +1,48 @@
+package system
+
+import (
+	"testing"
+
+	"qtenon/internal/host"
+	"qtenon/internal/vqa"
+)
+
+// evaluateAllocCeiling bounds the allocations one warmed Evaluate may
+// make. The arena work brought the 12-qubit/100-shot evaluation from
+// ~2000 allocs down to under 100 (fresh Outcomes, per-block RNGs and
+// batch planning remain by design); the ceiling sits well above normal
+// jitter but far below the pre-arena figure, so losing any scratch
+// buffer (statevector, alias table, regfile image, diff plan, RBQ data)
+// trips it.
+const evaluateAllocCeiling = 400
+
+// BenchmarkEvaluateAllocRegression fails the build when a warmed-up cost
+// evaluation starts allocating like the arenas are gone. CI runs it via
+// `-bench=Alloc -benchtime=1x`.
+func BenchmarkEvaluateAllocRegression(b *testing.B) {
+	w, err := vqa.New(vqa.VQE, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(host.BoomL())
+	cfg.Shots = 100
+	s, err := New(cfg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := append([]float64(nil), w.InitialParams...)
+	eval := func() {
+		params[0] += 1e-3
+		if _, err := s.Evaluate(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eval() // warm every arena (statevector, sampler, image, diff, RBQ)
+	eval()
+	for i := 0; i < b.N; i++ {
+		if avg := testing.AllocsPerRun(5, eval); avg > evaluateAllocCeiling {
+			b.Fatalf("warmed Evaluate allocates %.0f times per call, ceiling %d — a hot-path arena regressed",
+				avg, evaluateAllocCeiling)
+		}
+	}
+}

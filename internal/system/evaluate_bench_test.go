@@ -1,0 +1,37 @@
+package system
+
+import (
+	"testing"
+
+	"qtenon/internal/host"
+	"qtenon/internal/vqa"
+)
+
+// BenchmarkEvaluate measures one full cost evaluation on the Qtenon
+// machine — the unit of work the optimizer loop repeats (2P+1)× per
+// iteration. B/op is the tracked number: the hot-path memory-discipline
+// work (engine event queue, statevector arena, regfile/diff/bind
+// scratch) shows up here as a drop in bytes allocated per evaluation.
+func BenchmarkEvaluate(b *testing.B) {
+	w, err := vqa.New(vqa.VQE, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(host.BoomL())
+	cfg.Shots = 100
+	s, err := New(cfg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := append([]float64(nil), w.InitialParams...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Perturb one parameter so the incremental path (Diff + q_update)
+		// stays live, as it is under gradient descent.
+		params[i%len(params)] += 1e-3
+		if _, err := s.Evaluate(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

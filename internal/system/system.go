@@ -145,6 +145,15 @@ type System struct {
 	// hostResultBase is the host-memory address results synchronize to.
 	hostResultBase uint64
 
+	// Per-evaluation scratch, recycled across Evaluate calls so the
+	// steady-state hot path stops allocating: the q_update delta plan,
+	// the bus-transfer write payload and retired-data storage, and the
+	// bound-circuit shadow handed to the chip.
+	deltaScratch []compiler.Delta
+	beatScratch  []uint64
+	dataScratch  []uint64
+	boundScratch *circuit.Circuit
+
 	// reg is this instance's private metrics registry; m holds the
 	// handles the system itself updates (components below the system —
 	// bus, RBQ, SLT bank, pipeline, engine — hold their own handles into
@@ -280,9 +289,16 @@ func (s *System) transferCycles(beats int, write bool) (int64, error) {
 	}
 	var data []uint64
 	if write {
-		data = make([]uint64, beats)
+		if cap(s.beatScratch) < beats {
+			s.beatScratch = make([]uint64, beats)
+		}
+		data = s.beatScratch[:beats]
+		for i := range data {
+			data[i] = 0
+		}
 	}
-	res, err := tilelink.Transfer(s.bus, s.rbq, s.hostResultBase, beats, write, data)
+	res, err := tilelink.TransferReuse(s.bus, s.rbq, s.hostResultBase, beats, write, data, s.dataScratch[:0])
+	s.dataScratch = res.Data
 	if err != nil {
 		return 0, err
 	}
@@ -326,7 +342,8 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 		commPrep += t
 		hostPrep += s.cfg.Core.Time(s.cfg.Costs.IncrementalCompile(len(params)))
 	} else if s.cfg.Incremental {
-		deltas, err := s.prog.Diff(s.cur, params)
+		deltas, err := s.prog.AppendDiff(s.deltaScratch[:0], s.cur, params)
+		s.deltaScratch = deltas
 		if err != nil {
 			return 0, err
 		}
@@ -372,8 +389,11 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 	s.pulsesGen += int64(pipeRes.Generated)
 	pulsePrep := s.controller.Cycles(pipeRes.Cycles)
 
-	// q_run: execute shots; q_acquire: stream results.
-	bound := s.exec.Bind(params)
+	// q_run: execute shots; q_acquire: stream results. The bound shadow
+	// circuit is scratch: Execute consumes it synchronously and never
+	// retains it.
+	bound := s.exec.BindInto(s.boundScratch, params)
+	s.boundScratch = bound
 	ex, err := s.chip.Execute(bound, s.cfg.Shots)
 	if err != nil {
 		return 0, err

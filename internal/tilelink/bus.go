@@ -75,7 +75,14 @@ type Bus struct {
 	rng   *rand.Rand
 	now   int64
 	fly   []inflight
-	ready []Response
+	// ready is a FIFO of completed responses; readyHead indexes the next
+	// one to deliver, and the storage is recycled whenever the queue
+	// drains (every Tick/Pop cycle reuses the same backing arrays).
+	ready     []Response
+	readyHead int
+	// doneScratch collects each Tick's completions before the delivery
+	// shuffle.
+	doneScratch []Response
 	// Stats
 	Issued, Completed int64
 	BusyCycles        int64
@@ -148,8 +155,11 @@ func (b *Bus) Tick() {
 		b.BusyCycles++
 		b.cBusy.Inc()
 	}
-	var rest []inflight
-	var done []Response
+	// Partition in place: the keep-cursor never passes the read cursor,
+	// so compacting into b.fly[:0] while iterating is safe and Tick does
+	// not allocate in steady state.
+	done := b.doneScratch[:0]
+	rest := b.fly[:0]
 	for _, f := range b.fly {
 		if f.readyAt <= b.now {
 			done = append(done, f.resp)
@@ -158,6 +168,7 @@ func (b *Bus) Tick() {
 		}
 	}
 	b.fly = rest
+	b.doneScratch = done
 	b.rng.Shuffle(len(done), func(i, j int) { done[i], done[j] = done[j], done[i] })
 	b.ready = append(b.ready, done...)
 }
@@ -165,11 +176,15 @@ func (b *Bus) Tick() {
 // PopResponse delivers one completed response (completion order) and
 // releases its tag.
 func (b *Bus) PopResponse() (Response, bool) {
-	if len(b.ready) == 0 {
+	if b.readyHead >= len(b.ready) {
 		return Response{}, false
 	}
-	r := b.ready[0]
-	b.ready = b.ready[1:]
+	r := b.ready[b.readyHead]
+	b.readyHead++
+	if b.readyHead == len(b.ready) {
+		b.ready = b.ready[:0]
+		b.readyHead = 0
+	}
 	b.tags.Release(r.Tag)
 	b.Completed++
 	b.cCompleted.Inc()

@@ -21,6 +21,14 @@ type TransferResult struct {
 // For writes, data[i] supplies beat i's payload; for reads data may be
 // nil and the returned Data holds the beats in order.
 func Transfer(bus *Bus, rbq *RBQ, addr uint64, beats int, write bool, data []uint64) (TransferResult, error) {
+	return TransferReuse(bus, rbq, addr, beats, write, data, nil)
+}
+
+// TransferReuse is Transfer with caller-recycled result storage: the
+// returned TransferResult.Data is built by appending to dataBuf (pass a
+// prior result's Data[:0] to run repeated transfers without allocating).
+// The caller must not retain aliases of dataBuf across calls.
+func TransferReuse(bus *Bus, rbq *RBQ, addr uint64, beats int, write bool, data, dataBuf []uint64) (TransferResult, error) {
 	if beats <= 0 {
 		return TransferResult{}, fmt.Errorf("tilelink: non-positive beat count %d", beats)
 	}
@@ -30,6 +38,7 @@ func Transfer(bus *Bus, rbq *RBQ, addr uint64, beats int, write bool, data []uin
 	start := bus.Now()
 	var res TransferResult
 	res.Beats = beats
+	res.Data = dataBuf
 	issued, retired := 0, 0
 	// Track tag→issue so RBQ delivery uses the bus response tag.
 	for retired < beats {
