@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"qtenon/internal/bench"
+	"qtenon/internal/wallclock"
 )
 
 func main() {
@@ -109,14 +110,14 @@ func main() {
 		names = strings.Split(*exp, ",")
 	}
 	for _, name := range names {
-		start := time.Now()
+		sw := wallclock.Start()
 		out, err := bench.Run(strings.TrimSpace(name), sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qtenon-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Print(out)
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", name, sw.Elapsed().Round(time.Millisecond))
 	}
 	fmt.Println(bench.CacheStatsLine())
 }

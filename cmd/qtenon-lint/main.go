@@ -1,0 +1,122 @@
+// Command qtenon-lint runs the repository's invariant analyzers
+// (internal/lint) over Go packages: determinism, scratcharena,
+// metricsdiscipline, floatcompare, eventretention. See DESIGN.md §9 for
+// the invariant catalogue and the //lint:ignore suppression directive.
+//
+// Usage:
+//
+//	qtenon-lint ./...                 # whole module (CI gate)
+//	qtenon-lint -only determinism ./internal/qsim
+//	qtenon-lint -list                 # list analyzers
+//	qtenon-lint -json ./...           # machine-readable diagnostics
+//
+// It can also serve as a vet tool, reusing go vet's package loader and
+// build cache:
+//
+//	go vet -vettool=$(command -v qtenon-lint) ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qtenon/internal/lint"
+)
+
+func main() {
+	// go vet drives vet tools through a protocol: `tool -V=full` for a
+	// cache-busting version line, then `tool <flags> <file>.cfg` per
+	// package. Detect those shapes before normal flag parsing.
+	if handleVetProtocol(os.Args[1:]) {
+		return
+	}
+
+	var (
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as JSON")
+		failFast = flag.Bool("q", false, "quiet: only the diagnostic count")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "qtenon-lint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	moduleDir, err := lint.ModuleDir(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qtenon-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadPackages(moduleDir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qtenon-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		d, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qtenon-lint: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, d...)
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "qtenon-lint: %v\n", err)
+			os.Exit(2)
+		}
+	case *failFast:
+		fmt.Printf("qtenon-lint: %d diagnostic(s)\n", len(diags))
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

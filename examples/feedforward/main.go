@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"math/rand"
+	"qtenon/internal/rng"
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/qsim"
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(42))
+	rng := rng.New(42)
 	theta, phi := 1.0472, 0.7854 // the payload state |ψ⟩ = RZ(φ)RY(θ)|0⟩
 
 	fmt.Printf("teleporting |ψ⟩ = RZ(%.4f)·RY(%.4f)|0⟩ from q0 to q2\n\n", phi, theta)

@@ -6,7 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"qtenon/internal/rng"
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/host"
@@ -51,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	samples := st.Sample(2000, rand.New(rand.NewSource(7)))
+	samples := st.Sample(2000, rng.New(7))
 	best, bestCut := uint64(0), -1
 	for _, s := range samples {
 		if c := pauli.CutValue(w.Edges, s); c > bestCut {

@@ -119,7 +119,7 @@ func main() {
 		}
 		z := st.ExpectationZ(0)
 		pred := math.Copysign(1, z)
-		ok := pred == s.label
+		ok := (z >= 0) == (s.label > 0)
 		if ok {
 			correct++
 		}

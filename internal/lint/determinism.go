@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAllowed lists the packages exempt from the determinism
+// rules: the two sanctioned seams. internal/rng is the only place
+// math/rand streams may be constructed; internal/wallclock is the only
+// place host time may be read.
+var DeterminismAllowed = map[string]bool{
+	"qtenon/internal/rng":       true,
+	"qtenon/internal/wallclock": true,
+}
+
+// forbiddenTimeFuncs are the wall-clock reads that break run
+// reproducibility. time.Duration arithmetic and constants stay legal —
+// only observing the host clock is forbidden.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// Determinism enforces the reproducible-run invariant: golden RunResults
+// must be bit-for-bit identical across hosts, runs and GOMAXPROCS
+// settings (DESIGN.md §9.1). Three sources of hidden nondeterminism are
+// forbidden in every qtenon package outside the sanctioned seams:
+//
+//  1. wall-clock reads (time.Now/Since/Until) — use sim.Engine's virtual
+//     clock, or internal/wallclock in operational tooling;
+//  2. math/rand and math/rand/v2 package-level functions, including
+//     rand.New/rand.NewSource — every stream must come from
+//     internal/rng so it is explicitly seeded;
+//  3. order-sensitive iteration over maps — iterate a sorted key slice,
+//     or keep the loop body order-insensitive (integer accumulation, map
+//     inserts/deletes, or collect-then-sort).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, unseeded global RNG streams, and order-sensitive map iteration",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, "qtenon") || DeterminismAllowed[path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkForbiddenCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	pkg, name, ok := pass.PkgFunc(call)
+	if !ok {
+		return
+	}
+	switch pkg {
+	case "time":
+		if forbiddenTimeFuncs[name] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the host clock and breaks run reproducibility; use the sim.Engine virtual clock, or qtenon/internal/wallclock in operational tooling", name)
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(call.Pos(),
+			"rand.%s constructs or draws from a stream outside the sanctioned seam; obtain seeded streams from qtenon/internal/rng", name)
+	}
+}
+
+// checkMapRange flags `for … range m` over a map unless every statement
+// in the body is order-insensitive. The analyzer understands the
+// collect-then-sort idiom: appending to a slice that is sorted later in
+// the same function is order-insensitive.
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	enclosing := enclosingFuncBody(pass, file, rs)
+	if bad := orderSensitiveStmt(pass, rs, enclosing, rs.Body); bad != nil {
+		pass.Reportf(bad.Pos(),
+			"map iteration order is random: this statement makes the loop's effect depend on it; iterate sorted keys, or keep the body order-insensitive (integer accumulation, map insert/delete, collect-then-sort)")
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function enclosing
+// n (declaration or literal), or nil.
+func enclosingFuncBody(pass *Pass, file *ast.File, n ast.Node) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(m ast.Node) bool {
+		// Preorder visits outer functions before nested ones, so the last
+		// containing body recorded is the innermost.
+		switch f := m.(type) {
+		case *ast.FuncDecl:
+			if f.Body != nil && f.Body.Pos() <= n.Pos() && n.End() <= f.Body.End() {
+				body = f.Body
+			}
+		case *ast.FuncLit:
+			if f.Body.Pos() <= n.Pos() && n.End() <= f.Body.End() {
+				body = f.Body
+			}
+		}
+		return true
+	})
+	return body
+}
+
+// orderSensitiveStmt returns the first statement in the map-range body
+// whose effect depends on iteration order, or nil if the whole body is
+// order-insensitive.
+//
+// Order-insensitive forms:
+//   - declarations of, and assignments to, variables scoped inside the
+//     loop body (per-iteration temporaries);
+//   - m[k] = v map-index stores and delete(m, k);
+//   - integer-typed compound assignment and ++/-- (commutative exact
+//     accumulation; float/complex/string accumulation is order-sensitive
+//     because it is non-associative or concatenating);
+//   - x = append(x, …) when x is sorted later in the enclosing function
+//     (collect-then-sort);
+//   - control flow (if/switch/for/block/continue/break) whose nested
+//     statements are themselves order-insensitive;
+//   - returns that do not mention the iteration variables (uniform
+//     early exit).
+func orderSensitiveStmt(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt, body *ast.BlockStmt) ast.Stmt {
+	var walk func(stmts []ast.Stmt) ast.Stmt
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	declaredInBody := func(id *ast.Ident) bool {
+		obj := pass.ObjectOf(id)
+		return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+	}
+	walk = func(stmts []ast.Stmt) ast.Stmt {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.DeclStmt, *ast.EmptyStmt:
+			case *ast.BranchStmt:
+				// continue/break/goto: uniform control flow.
+			case *ast.ReturnStmt:
+				if mentionsObjects(pass, s, loopVars) {
+					return s
+				}
+			case *ast.IncDecStmt:
+				if !isIntExpr(pass, s.X) {
+					return s
+				}
+			case *ast.AssignStmt:
+				if bad := orderSensitiveAssign(pass, rs, enclosing, s, declaredInBody); bad {
+					return s
+				}
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return s
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+					if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+						continue
+					}
+				}
+				return s
+			case *ast.IfStmt:
+				if bad := walkIf(pass, rs, enclosing, s, walk); bad != nil {
+					return bad
+				}
+			case *ast.BlockStmt:
+				if bad := walk(s.List); bad != nil {
+					return bad
+				}
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if bad := walk(c.(*ast.CaseClause).Body); bad != nil {
+						return bad
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if bad := walk(c.(*ast.CaseClause).Body); bad != nil {
+						return bad
+					}
+				}
+			case *ast.ForStmt:
+				if bad := walk(s.Body.List); bad != nil {
+					return bad
+				}
+			case *ast.RangeStmt:
+				if bad := walk(s.Body.List); bad != nil {
+					return bad
+				}
+			default:
+				return s
+			}
+		}
+		return nil
+	}
+	return walk(body.List)
+}
+
+func walkIf(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt, s *ast.IfStmt, walk func([]ast.Stmt) ast.Stmt) ast.Stmt {
+	if bad := walk(s.Body.List); bad != nil {
+		return bad
+	}
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		return walk(e.List)
+	case *ast.IfStmt:
+		return walkIf(pass, rs, enclosing, e, walk)
+	}
+	return nil
+}
+
+// orderSensitiveAssign classifies one assignment inside a map-range body.
+func orderSensitiveAssign(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt, s *ast.AssignStmt, declaredInBody func(*ast.Ident) bool) bool {
+	// Short declarations introduce per-iteration temporaries: safe.
+	if s.Tok == token.DEFINE {
+		return false
+	}
+	// Compound assignment: exact (integer) accumulation commutes.
+	if s.Tok != token.ASSIGN {
+		return !isIntExpr(pass, s.Lhs[0])
+	}
+	for i, lhs := range s.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" || declaredInBody(l) {
+				continue
+			}
+			// x = append(x, …) collected for a later sort?
+			if i < len(s.Rhs) && isCollectThenSort(pass, rs, enclosing, l, s.Rhs[i]) {
+				continue
+			}
+			return true
+		case *ast.IndexExpr:
+			// m[k] = v: map stores commute across distinct keys.
+			if t := pass.TypeOf(l.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					continue
+				}
+			}
+			return true
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// isCollectThenSort reports whether `lhs = append(lhs, …)` feeds a slice
+// that a sort call consumes after the range loop in the same function.
+func isCollectThenSort(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt, lhs *ast.Ident, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || pass.ObjectOf(first) != pass.ObjectOf(lhs) {
+		return false
+	}
+	if enclosing == nil {
+		return false
+	}
+	obj := pass.ObjectOf(lhs)
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() < rs.End() {
+			return !sorted
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pass.PkgFunc(c)
+		if !ok {
+			return true
+		}
+		isSort := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range c.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				sorted = true
+			}
+			// sort.Slice(x, func…) style: x may appear under & or slice.
+			if id, ok := ast.Unparen(sliceBase(arg)).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// mentionsObjects reports whether any identifier under n denotes one of
+// the given objects.
+func mentionsObjects(pass *Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isIntExpr reports whether e has integer type (signed or unsigned).
+func isIntExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const simPkgPath = "qtenon/internal/sim"
+
+// schedulingMethods are the sim.Engine entry points that enqueue a
+// closure for later execution.
+var schedulingMethods = map[string]bool{
+	"Schedule": true, "At": true,
+}
+
+// EventRetention checks closures handed to sim.Engine's Schedule/At
+// (DESIGN.md §9.5). A scheduled closure runs long after the scheduling
+// frame has moved on, so it must not capture:
+//
+//   - loop variables of an enclosing for/range statement — the engine
+//     pins popped-slot clearing precisely so executed events retain
+//     nothing; a loop-variable capture retains per-iteration state for
+//     the queue's lifetime and, for map ranges, bakes random iteration
+//     order into the event's payload. Bind the value through a
+//     parameter or a dedicated local instead.
+//   - scratch-backed slices from the Append*/*Reuse arenas — the event
+//     fires after the arena has been recycled, so the closure reads
+//     whatever evaluation overwrote it (the leak class the engine's
+//     finalizer test pins).
+var EventRetention = &Analyzer{
+	Name: "eventretention",
+	Doc:  "flag scheduled sim.Engine closures that capture loop variables or scratch",
+	Run:  runEventRetention,
+}
+
+func runEventRetention(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Map every loop-variable object to its loop statement.
+		loopVars := collectLoopVars(pass, f)
+		scratchVars := collectScratchVars(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSchedulingCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				checkScheduledClosure(pass, lit, loopVars, scratchVars)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSchedulingCall reports whether call invokes
+// (*sim.Engine).Schedule or (*sim.Engine).At.
+func isSchedulingCall(pass *Pass, call *ast.CallExpr) bool {
+	f := pass.CalleeFunc(call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != simPkgPath || !schedulingMethods[f.Name()] {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Engine"
+}
+
+// collectLoopVars indexes objects declared as for/range loop variables.
+func collectLoopVars(pass *Pass, f *ast.File) map[types.Object]ast.Node {
+	vars := map[types.Object]ast.Node{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						vars[obj] = n
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							vars[obj] = n
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// collectScratchVars indexes variables bound to scratch-producer results
+// with a recycled (non-fresh) destination — the same producer set the
+// scratcharena analyzer tracks.
+func collectScratchVars(pass *Pass, f *ast.File) map[types.Object]string {
+	vars := map[types.Object]string{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, dstIdx, ok := scratchProducer(pass, call)
+		if !ok || isNilOrFresh(pass, call.Args[dstIdx]) {
+			return true
+		}
+		if len(assign.Lhs) > 0 {
+			if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.ObjectOf(id); obj != nil {
+					vars[obj] = fn.Name()
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+func checkScheduledClosure(pass *Pass, lit *ast.FuncLit, loopVars map[types.Object]ast.Node, scratchVars map[types.Object]string) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		// Only free variables: the object must be declared outside the
+		// literal.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		if loop, isLoop := loopVars[obj]; isLoop {
+			// The capture only retains if the loop encloses the closure
+			// (capturing a loop var after its loop, via shadowing games, is
+			// out of scope).
+			if loop.Pos() <= lit.Pos() && lit.End() <= loop.End() {
+				reported[obj] = true
+				pass.Reportf(id.Pos(),
+					"scheduled closure captures loop variable %q: the event outlives the iteration; bind the value through a local or parameter", id.Name)
+			}
+			return true
+		}
+		if producer, isScratch := scratchVars[obj]; isScratch {
+			reported[obj] = true
+			pass.Reportf(id.Pos(),
+				"scheduled closure captures %q, a scratch-backed slice from %s: the arena is recycled before the event fires; copy the data or capture a fresh slice", id.Name, producer)
+		}
+		return true
+	})
+}

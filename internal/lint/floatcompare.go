@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatCompareApproved names functions allowed to compare floats
+// exactly: the tolerance helpers themselves and NaN/sentinel utilities.
+// Everything else either goes through one of these or carries a
+// //lint:ignore floatcompare directive with a reason.
+var floatCompareApproved = map[string]bool{
+	"ApproxEqual": true, "approxEqual": true,
+	"AlmostEqual": true, "almostEqual": true,
+	"WithinTol": true, "withinTol": true,
+}
+
+// FloatCompare flags == and != between floating-point or complex
+// operands (DESIGN.md §9.4). Exact float equality is almost always a
+// latent bug in simulation code — two mathematically equal quantities
+// computed along different paths differ in the last ulp, and the
+// comparison silently flips with gate-fusion order, GOMAXPROCS
+// reduction shape, or compiler FMA choices. Compare against a tolerance
+// (math.Abs(a-b) <= eps) or use an approved helper.
+//
+// The self-comparison NaN idiom (x != x), constant-only comparisons,
+// and the bodies of approved tolerance helpers are exempt.
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc:  "flag ==/!= on floating-point or complex values outside tolerance helpers",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(pass *Pass) error {
+	for _, f := range pass.Files {
+		var funcStack []string
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				funcStack = append(funcStack, n.Name.Name)
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.BinaryExpr:
+				checkFloatCompare(pass, n, funcStack)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+func checkFloatCompare(pass *Pass, be *ast.BinaryExpr, funcStack []string) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if len(funcStack) > 0 && floatCompareApproved[funcStack[len(funcStack)-1]] {
+		return
+	}
+	xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+	if !isFloatish(xt.Type) && !isFloatish(yt.Type) {
+		return
+	}
+	// Both sides compile-time constants: the comparison is exact by
+	// construction.
+	if xt.Value != nil && yt.Value != nil {
+		return
+	}
+	// x != x / x == x is the portable NaN test.
+	if sameSimpleExpr(be.X, be.Y) {
+		return
+	}
+	kind := "floating-point"
+	if isComplexish(xt.Type) || isComplexish(yt.Type) {
+		kind = "complex"
+	}
+	pass.Reportf(be.OpPos,
+		"exact %s %s comparison: equality flips with evaluation order and fusion; compare math.Abs(a-b) against a tolerance, use an approved helper, or suppress with //lint:ignore and a reason", kind, be.Op)
+}
+
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isComplexish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsComplex != 0
+}
+
+// sameSimpleExpr reports whether two expressions are the identical
+// identifier/selector/index chain.
+func sameSimpleExpr(a, b ast.Expr) bool {
+	sa, sb := exprString(a), exprString(b)
+	return sa != "" && sa == sb
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const metricsPkgPath = "qtenon/internal/metrics"
+
+// instrumentTypes are the metrics handles whose nil-safety contract
+// (DESIGN.md §9.3) depends on construction through a Registry: code
+// holds *Counter/*Gauge/*Timer obtained from Registry.Counter et al.,
+// where a nil registry hands out nil handles and every method is a
+// nil-safe no-op. A raw struct literal or value-typed instrument
+// sidesteps the registry, so the instrument is invisible to Snapshot and
+// the "instrumented code never nil-checks" discipline silently erodes.
+var instrumentTypes = map[string]bool{
+	"Counter": true, "Gauge": true, "Timer": true,
+}
+
+// MetricsDiscipline requires metrics instruments to come from registry
+// constructors: outside the metrics package itself it flags composite
+// literals (metrics.Counter{}, &metrics.Timer{…}), new(metrics.Gauge),
+// and value-typed instrument variables or struct fields.
+var MetricsDiscipline = &Analyzer{
+	Name: "metricsdiscipline",
+	Doc:  "require metrics instruments to be obtained from a Registry, never raw literals",
+	Run:  runMetricsDiscipline,
+}
+
+func runMetricsDiscipline(pass *Pass) error {
+	if pass.Pkg.Path() == metricsPkgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name, ok := instrumentNamed(pass.TypeOf(n)); ok {
+					pass.Reportf(n.Pos(),
+						"metrics.%s constructed as a raw literal bypasses the registry: obtain it from (*metrics.Registry).%s so it is named, snapshotted, and nil-safe", name, name)
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+						if name, ok := instrumentNamed(pass.TypeOf(n.Args[0])); ok {
+							pass.Reportf(n.Pos(),
+								"new(metrics.%s) bypasses the registry: obtain the instrument from (*metrics.Registry).%s", name, name)
+						}
+					}
+				}
+			case *ast.Field:
+				checkInstrumentDecl(pass, n.Type, "field")
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					checkInstrumentDecl(pass, n.Type, "variable")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkInstrumentDecl flags declarations whose type is a value (not
+// pointer) instrument.
+func checkInstrumentDecl(pass *Pass, typeExpr ast.Expr, kind string) {
+	t := pass.TypeOf(typeExpr)
+	if t == nil {
+		return
+	}
+	if name, ok := instrumentNamed(t); ok {
+		pass.Reportf(typeExpr.Pos(),
+			"%s of value type metrics.%s cannot be registry-managed: declare *metrics.%s and attach it from a Registry (nil handles are valid no-ops)", kind, name, name)
+	}
+}
+
+// instrumentNamed reports whether t is (exactly) one of the metrics
+// instrument named types — not a pointer to one.
+func instrumentNamed(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != metricsPkgPath || !instrumentTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}

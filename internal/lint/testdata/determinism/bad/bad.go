@@ -1,0 +1,49 @@
+// Package fixture reproduces the determinism violations the repo sweep
+// removed; every flagged line must stay flagged.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+type config struct{ Seed int64 }
+
+type bus struct{ rng *rand.Rand }
+
+// newBus reproduces internal/tilelink/bus.go as it stood before the
+// sweep onto qtenon/internal/rng.
+func newBus(cfg config) *bus {
+	return &bus{
+		rng: rand.New(rand.NewSource(cfg.Seed)), // want `rand\.New constructs` `rand\.NewSource constructs`
+	}
+}
+
+func draw() int {
+	return rand.Int() // want `rand\.Int constructs or draws`
+}
+
+func stamp() time.Duration {
+	start := time.Now()      // want `time\.Now reads the host clock`
+	return time.Since(start) // want `time\.Since reads the host clock`
+}
+
+// Float accumulation over map order is non-associative: the sum's last
+// ulp depends on iteration order.
+func sumWeights(m map[string]float64) float64 {
+	var total float64
+	for _, w := range m {
+		total += w // want `map iteration order is random`
+	}
+	return total
+}
+
+// Collecting keys without a later sort bakes random order into the
+// slice.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order is random`
+	}
+	return out
+}

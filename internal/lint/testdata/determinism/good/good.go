@@ -1,0 +1,68 @@
+// Package fixture holds the sanctioned counterparts of every
+// determinism violation: none of these lines may be flagged.
+package fixture
+
+import (
+	"sort"
+	"time"
+
+	"qtenon/internal/rng"
+)
+
+// Duration arithmetic and constants are legal; only observing the host
+// clock is forbidden.
+const tick = 10 * time.Millisecond
+
+// Streams come from the internal/rng seam, explicitly seeded.
+func seeded(seed int64) int {
+	r := rng.New(seed)
+	return r.Intn(10)
+}
+
+// Collect-then-sort: random iteration order is erased by the sort.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Map-index stores commute across distinct keys.
+func histogram(samples map[string][]float64) map[string]int {
+	counts := make(map[string]int, len(samples))
+	for k, v := range samples {
+		counts[k] = len(v)
+	}
+	return counts
+}
+
+// Integer accumulation is exact and commutative.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// delete(m, k) during iteration is order-insensitive.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Per-iteration temporaries are scoped to the body.
+func anyNegative(m map[string]int) bool {
+	for _, v := range m {
+		neg := v < 0
+		if neg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+//lintfixture:path example.com/outside
+
+// Package fixture shows the determinism rules are scoped to the
+// module's "qtenon" path prefix: external code checked under another
+// import path is not governed, so nothing here is flagged.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func draw() int { return rand.Int() }

@@ -1,0 +1,26 @@
+// Package fixture exercises the //lint:ignore directive machinery. It
+// is driven by a programmatic test (not want comments) because the
+// malformed-directive diagnostic lands on the directive's own line,
+// where no want comment can sit.
+package fixture
+
+// suppressed: a well-formed directive naming the analyzer silences the
+// line below it.
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcompare calibrated against golden fixtures
+	return a == b
+}
+
+// wrongName: a well-formed directive naming a different analyzer does
+// not suppress this one.
+func wrongName(a, b float64) bool {
+	//lint:ignore determinism reason aimed at another analyzer
+	return a == b
+}
+
+// missingReason: the reason is mandatory; the directive is reported as
+// malformed and suppresses nothing.
+func missingReason(a, b float64) bool {
+	//lint:ignore floatcompare
+	return a == b
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the scheduled-closure retention rules:
+// events enqueued on sim.Engine must not capture loop variables or
+// scratch-backed slices.
+package fixture
+
+import (
+	"qtenon/internal/qsim"
+	"qtenon/internal/sim"
+)
+
+func scheduleAll(e *sim.Engine, deadlines []sim.Time) {
+	for i, d := range deadlines {
+		e.At(d, func() {
+			record(i) // want `scheduled closure captures loop variable "i"`
+		})
+	}
+}
+
+func scheduleCounted(e *sim.Engine, n int) {
+	for k := 0; k < n; k++ {
+		e.Schedule(1, func() {
+			record(k) // want `scheduled closure captures loop variable "k"`
+		})
+	}
+}
+
+func schedulePending(e *sim.Engine, pending map[uint64]sim.Time) {
+	for addr := range pending {
+		e.Schedule(1, func() {
+			touch(addr) // want `scheduled closure captures loop variable "addr"`
+		})
+	}
+}
+
+func scheduleScratch(e *sim.Engine, st *qsim.State, buf []float64) {
+	probs := st.AppendProbabilities(buf)
+	e.Schedule(4, func() {
+		use(probs) // want `captures "probs", a scratch-backed slice from AppendProbabilities`
+	})
+}
+
+func record(int)    {}
+func touch(uint64)  {}
+func use([]float64) {}

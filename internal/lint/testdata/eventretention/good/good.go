@@ -1,0 +1,45 @@
+// Package fixture holds the sanctioned scheduling idioms: none of these
+// lines may be flagged.
+package fixture
+
+import (
+	"qtenon/internal/qsim"
+	"qtenon/internal/sim"
+)
+
+// Binding the loop value through a per-iteration local is the
+// sanctioned pattern.
+func scheduleAll(e *sim.Engine, deadlines []sim.Time) {
+	for i, d := range deadlines {
+		idx := i
+		e.At(d, func() {
+			record(idx)
+		})
+	}
+}
+
+// Capturing a scalar derived from scratch copies the value out of the
+// arena before the event fires.
+func scheduleValue(e *sim.Engine, st *qsim.State, buf []float64) {
+	probs := st.AppendProbabilities(buf)
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	e.Schedule(4, func() {
+		report(total)
+	})
+}
+
+// A nil destination allocates caller-owned storage, so the closure may
+// keep it.
+func scheduleFresh(e *sim.Engine, st *qsim.State) {
+	probs := st.AppendProbabilities(nil)
+	e.Schedule(4, func() {
+		use(probs)
+	})
+}
+
+func record(int)     {}
+func report(float64) {}
+func use([]float64)  {}

@@ -1,0 +1,19 @@
+// Package fixture exercises the exact-float-comparison rule.
+package fixture
+
+func equalEnergy(a, b float64) bool {
+	return a == b // want `exact floating-point == comparison`
+}
+
+func drifted(prev, cur float64) bool {
+	return cur != prev // want `exact floating-point != comparison`
+}
+
+func sameAmplitude(x, y complex128) bool {
+	return x == y // want `exact complex == comparison`
+}
+
+// One float operand is enough: the untyped constant converts.
+func isUnit(norm float64) bool {
+	return norm == 1.0 // want `exact floating-point == comparison`
+}

@@ -1,0 +1,36 @@
+// Package fixture holds the sanctioned float-comparison idioms: none of
+// these lines may be flagged.
+package fixture
+
+import "math"
+
+const eps = 1e-12
+
+// approxEqual is an approved tolerance helper: its body may compare
+// exactly (the a == b fast path is the helper's own business).
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// Self-comparison is the portable NaN test.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// Both sides compile-time constants: exact by construction.
+func epsIsPositive() bool {
+	return eps != 0
+}
+
+// Integer comparisons are untouched.
+func sameShot(a, b int) bool {
+	return a == b
+}
+
+// Callers go through the helper instead of comparing inline.
+func converged(prev, cur float64) bool {
+	return approxEqual(prev, cur)
+}

@@ -1,0 +1,18 @@
+// Package fixture exercises the metrics-instrument discipline: raw
+// construction and value-typed instruments bypass the registry.
+package fixture
+
+import "qtenon/internal/metrics"
+
+type stats struct {
+	hits metrics.Counter // want `field of value type metrics\.Counter`
+}
+
+var depth metrics.Gauge // want `variable of value type metrics\.Gauge`
+
+func literals() {
+	c := &metrics.Counter{} // want `metrics\.Counter constructed as a raw literal`
+	t := new(metrics.Timer) // want `new\(metrics\.Timer\) bypasses the registry`
+	c.Inc()
+	t.Observe(1)
+}

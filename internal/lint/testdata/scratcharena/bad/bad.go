@@ -1,0 +1,49 @@
+// Package fixture exercises every escape class the scratcharena
+// analyzer reports: scratch-API results with recycled destinations
+// leaving the calling frame.
+package fixture
+
+import (
+	"math/rand"
+
+	"qtenon/internal/qsim"
+)
+
+type cache struct {
+	probs []float64
+	last  []float64
+}
+
+// Returning the producer call directly hands recycled storage to the
+// caller.
+func escapeReturn(st *qsim.State, buf []float64) []float64 {
+	return st.AppendProbabilities(buf) // want `returned from escapeReturn \(produced by AppendProbabilities\)`
+}
+
+// Returning a variable bound to scratch is the same escape one hop
+// later.
+func escapeVar(st *qsim.State, buf []float64) []float64 {
+	p := st.AppendProbabilities(buf)
+	return p // want `returned from escapeVar \(aliases "buf"\)`
+}
+
+// Storing the result over a different field aliases two fields to one
+// backing array.
+func escapeField(c *cache, st *qsim.State) {
+	c.last = st.AppendProbabilities(c.probs[:0]) // want `stored into "c\.last" which is not its recycled destination "c\.probs"`
+}
+
+// A closure that captures scratch outlives the frame that owns it.
+func escapeClosure(st *qsim.State, buf []uint64, r *rand.Rand, run func(func())) {
+	s := st.AppendSample(buf, 8, r)
+	run(func() { // want `captured by a function literal \(aliases "buf"\)`
+		_ = s[0]
+	})
+}
+
+// Sending scratch on a channel publishes it to another goroutine's
+// timeline.
+func escapeChannel(st *qsim.State, buf []float64, ch chan []float64) {
+	p := st.AppendProbabilities(buf)
+	ch <- p // want `sent on a channel`
+}

@@ -1,0 +1,52 @@
+// Package fixture holds the sanctioned scratch-buffer idioms: none of
+// these lines may be flagged.
+package fixture
+
+import "qtenon/internal/qsim"
+
+type cache struct {
+	probs []float64
+}
+
+// Store-back: recycling a slice over its own destination is the
+// repo-wide idiom the analyzer blesses.
+func storeBack(c *cache, st *qsim.State) {
+	c.probs = st.AppendProbabilities(c.probs[:0])
+}
+
+// A nil destination allocates fresh, caller-owned storage.
+func fresh(st *qsim.State) []float64 {
+	return st.AppendProbabilities(nil)
+}
+
+// So does an explicit make.
+func freshMake(st *qsim.State) []float64 {
+	return st.AppendProbabilities(make([]float64, 0, 64))
+}
+
+// Consuming scratch locally and returning a scalar derived from it is
+// fine: scalars do not alias the arena.
+func consume(st *qsim.State, buf []float64) float64 {
+	p := st.AppendProbabilities(buf)
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	return sum
+}
+
+// Overwriting the variable with a copy ends the aliasing.
+func rebindCopy(st *qsim.State, buf []float64) []float64 {
+	p := st.AppendProbabilities(buf)
+	use(p)
+	p = append([]float64(nil), p...)
+	return p
+}
+
+// Functions that are themselves links in a recycling chain (append* /
+// *Reuse naming) hand the dst contract to their caller.
+func appendNormalized(dst []float64, st *qsim.State) []float64 {
+	return st.AppendProbabilities(dst)
+}
+
+func use([]float64) {}

@@ -17,7 +17,8 @@ package opt
 import (
 	"fmt"
 	"math"
-	"math/rand"
+
+	"qtenon/internal/rng"
 	"sync"
 
 	"qtenon/internal/par"
@@ -225,7 +226,7 @@ func SPSA(eval Evaluator, initial []float64, o Options) (Result, error) {
 	if err := o.validate(len(initial)); err != nil {
 		return Result{}, err
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
+	rng := rng.New(o.Seed)
 	params := append([]float64(nil), initial...)
 	var res Result
 	plusP := make([]float64, len(params))

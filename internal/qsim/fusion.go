@@ -121,6 +121,13 @@ func matMul(a, b [4]complex128) [4]complex128 {
 	}
 }
 
+// isDiagonal gates the batched diagonal-sweep fast path. The exact ==0
+// test is intentional: only matrices whose off-diagonal entries are
+// bit-for-bit zero may take it, so the check must not widen under a
+// tolerance (a near-diagonal matrix through the diagonal kernel would
+// silently drop its off-diagonal amplitude flow).
+//
+//lint:ignore floatcompare exact zero check selects a kernel; a tolerance would change numerics
 func isDiagonal(m [4]complex128) bool { return m[1] == 0 && m[2] == 0 }
 
 // merge1Q folds a single-qubit matrix into the qubit's pending run.

@@ -2,6 +2,7 @@ package qsim
 
 import (
 	"math/rand"
+	qrng "qtenon/internal/rng"
 
 	"qtenon/internal/par"
 )
@@ -171,7 +172,7 @@ func (s *State) AppendSample(dst []uint64, shots int, rng *rand.Rand) []uint64 {
 	nblocks := (shots + sampleBlock - 1) / sampleBlock
 	seeds := s.appendSeeds(nblocks, rng)
 	par.Do(nblocks, func(b int) {
-		sub := rand.New(rand.NewSource(seeds[b]))
+		sub := qrng.New(seeds[b])
 		lo := b * sampleBlock
 		hi := lo + sampleBlock
 		if hi > shots {

@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"qtenon/internal/rng"
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/qsim"
@@ -73,7 +74,7 @@ func NewChip(n int, seed int64) (*Chip, error) {
 	return &Chip{
 		nqubits: n,
 		timing:  circuit.DefaultTiming(),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng.New(seed),
 		exact:   n <= ExactLimit,
 	}, nil
 }

@@ -3,6 +3,7 @@ package quantum
 import (
 	"fmt"
 	"math/rand"
+	"qtenon/internal/rng"
 
 	"qtenon/internal/circuit"
 )
@@ -59,7 +60,7 @@ func NewNoisyChip(n int, seed int64, noise Noise) (*NoisyChip, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &NoisyChip{Chip: chip, noise: noise, rng: rand.New(rand.NewSource(seed ^ 0x5eed))}, nil
+	return &NoisyChip{Chip: chip, noise: noise, rng: rng.New(rng.Derive(seed, 0x5eed))}, nil
 }
 
 // Noise reports the configured error model.

@@ -37,10 +37,10 @@ func (b *Breakdown) Add(o Breakdown) {
 // Percent reports each category as a percentage of the total, in the
 // order quantum, comm, pulse, host.
 func (b Breakdown) Percent() [4]float64 {
-	t := float64(b.Total())
-	if t == 0 {
+	if b.Total() == 0 {
 		return [4]float64{}
 	}
+	t := float64(b.Total())
 	return [4]float64{
 		100 * float64(b.Quantum) / t,
 		100 * float64(b.Comm) / t,
@@ -69,10 +69,10 @@ func (c CommBreakdown) Total() sim.Time { return c.QSet + c.QUpdate + c.QAcquire
 
 // Percent reports (q_set, q_update, q_acquire) shares.
 func (c CommBreakdown) Percent() [3]float64 {
-	t := float64(c.Total())
-	if t == 0 {
+	if c.Total() == 0 {
 		return [3]float64{}
 	}
+	t := float64(c.Total())
 	return [3]float64{
 		100 * float64(c.QSet) / t,
 		100 * float64(c.QUpdate) / t,

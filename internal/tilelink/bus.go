@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"qtenon/internal/rng"
+
 	"qtenon/internal/hw"
 	"qtenon/internal/metrics"
 )
@@ -70,11 +72,11 @@ type inflight struct {
 // complete after a pseudo-random latency; completions are delivered in
 // ready order, which is generally NOT issue order.
 type Bus struct {
-	cfg   Config
-	tags  *hw.TagPool
-	rng   *rand.Rand
-	now   int64
-	fly   []inflight
+	cfg  Config
+	tags *hw.TagPool
+	rng  *rand.Rand
+	now  int64
+	fly  []inflight
 	// ready is a FIFO of completed responses; readyHead indexes the next
 	// one to deliver, and the storage is recycled whenever the queue
 	// drains (every Tick/Pop cycle reuses the same backing arrays).
@@ -109,7 +111,7 @@ func NewBus(cfg Config) (*Bus, error) {
 	return &Bus{
 		cfg:  cfg,
 		tags: hw.NewTagPool(cfg.Tags),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		rng:  rng.New(cfg.Seed),
 	}, nil
 }
 

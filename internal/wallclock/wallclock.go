@@ -1,0 +1,21 @@
+// Package wallclock is the only sanctioned wall-clock read point in the
+// module. Simulated components must never observe host time — the
+// qtenon-lint determinism analyzer forbids time.Now/Since/Until
+// everywhere else — but operational tooling (the bench driver's progress
+// lines) legitimately wants to report how long a generator took on the
+// host. Routing those reads through one package keeps the forbidden
+// calls out of simulation code and makes every wall-clock dependency
+// greppable.
+package wallclock
+
+import "time"
+
+// Stopwatch measures elapsed host time. The zero Stopwatch is not
+// meaningful; obtain one from Start.
+type Stopwatch struct{ start time.Time }
+
+// Start begins timing.
+func Start() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed reports the host time since Start.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
