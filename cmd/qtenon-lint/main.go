@@ -1,17 +1,25 @@
 // Command qtenon-lint runs the repository's invariant analyzers
 // (internal/lint) over Go packages: determinism, scratcharena,
-// metricsdiscipline, floatcompare, eventretention. See DESIGN.md §9 for
-// the invariant catalogue and the //lint:ignore suppression directive.
+// metricsdiscipline, floatcompare, eventretention, parsafety, unitflow,
+// deepscratch. See DESIGN.md §9–§10 for the invariant catalogue, the
+// interprocedural summaries, and the //lint:ignore suppression
+// directive.
 //
 // Usage:
 //
 //	qtenon-lint ./...                 # whole module (CI gate)
 //	qtenon-lint -only determinism ./internal/qsim
 //	qtenon-lint -list                 # list analyzers
-//	qtenon-lint -json ./...           # machine-readable diagnostics
+//	qtenon-lint -format=json ./...    # machine-readable diagnostics
+//	qtenon-lint -format=github ./...  # GitHub Actions annotations
+//
+// All named packages are loaded into one interprocedural program, so
+// function summaries cross package boundaries; narrowing the patterns
+// narrows what the summary-driven analyzers can see.
 //
 // It can also serve as a vet tool, reusing go vet's package loader and
-// build cache:
+// build cache (one package per invocation, so summaries degrade to the
+// intra-package view):
 //
 //	go vet -vettool=$(command -v qtenon-lint) ./...
 //
@@ -23,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"qtenon/internal/lint"
@@ -37,10 +46,11 @@ func main() {
 	}
 
 	var (
-		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list     = flag.Bool("list", false, "list analyzers and exit")
-		jsonOut  = flag.Bool("json", false, "emit diagnostics as JSON")
-		failFast = flag.Bool("q", false, "quiet: only the diagnostic count")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON (same as -format=json)")
+		format  = flag.String("format", "text", "output format: text, json, or github (Actions annotations)")
+		quiet   = flag.Bool("q", false, "quiet: only the diagnostic count")
 	)
 	flag.Parse()
 
@@ -49,6 +59,15 @@ func main() {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "qtenon-lint: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
 	}
 
 	analyzers := lint.All()
@@ -80,18 +99,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	var diags []lint.Diagnostic
-	for _, pkg := range pkgs {
-		d, err := lint.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qtenon-lint: %v\n", err)
-			os.Exit(2)
-		}
-		diags = append(diags, d...)
+	// One program over every loaded package: the summary-driven
+	// analyzers see across package boundaries.
+	diags, err := lint.RunProgram(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qtenon-lint: %v\n", err)
+		os.Exit(2)
 	}
 
-	switch {
-	case *jsonOut:
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		type jsonDiag struct {
@@ -109,9 +126,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "qtenon-lint: %v\n", err)
 			os.Exit(2)
 		}
-	case *failFast:
-		fmt.Printf("qtenon-lint: %d diagnostic(s)\n", len(diags))
+	case "github":
+		for _, d := range diags {
+			fmt.Println(githubAnnotation(moduleDir, d))
+		}
 	default:
+		if *quiet {
+			fmt.Printf("qtenon-lint: %d diagnostic(s)\n", len(diags))
+			break
+		}
 		for _, d := range diags {
 			fmt.Println(d)
 		}
@@ -119,4 +142,34 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// githubAnnotation renders one diagnostic as a GitHub Actions workflow
+// command, which the runner turns into an inline PR annotation. Paths
+// are made workspace-relative so GitHub can match them to the diff, and
+// the property/message escaping follows the Actions toolkit rules.
+func githubAnnotation(moduleDir string, d lint.Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=qtenon-lint/%s::%s",
+		escapeGithubProperty(file), d.Pos.Line, d.Pos.Column,
+		escapeGithubProperty(d.Analyzer), escapeGithubData(d.Message))
+}
+
+// escapeGithubData escapes a workflow-command message payload.
+func escapeGithubData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeGithubProperty escapes a workflow-command property value.
+func escapeGithubProperty(s string) string {
+	s = escapeGithubData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

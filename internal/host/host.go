@@ -35,8 +35,7 @@ func (c Core) Time(instructions int64) sim.Time {
 	if instructions <= 0 {
 		return 0
 	}
-	cycles := float64(instructions) / c.IPC
-	return sim.Time(cycles * float64(c.Clock.Period()))
+	return c.Clock.CyclesFloat(float64(instructions) / c.IPC)
 }
 
 // MemHierarchy carries the load-to-use latencies of Table 4's memory

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeepScratch is the interprocedural completion of scratcharena
+// (DESIGN.md §9.2, §10). scratcharena catches a scratch-backed slice
+// escaping the producing frame directly — returned, stored into foreign
+// state, captured by a scheduled closure. What it cannot see is the
+// same escape one call deep: the scratch handed to a callee that looks
+// inert from the call site but whose body stores its parameter into a
+// global, a field, a map, a channel, or a goroutine. With the Program's
+// function summaries that callee is no longer opaque: passing a tracked
+// scratch value (or anything reachable from it, e.g. res.Data) to a
+// parameter the summary marks retained is flagged at the call site.
+//
+// Values that merely flow through a callee into its result
+// (ArgFlowsToResult) stay tracked in the caller, so wrap(res) escaping
+// later is caught too. Calls to other scratch producers are links in
+// the recycling chain and exempt, as are the bodies of scratch APIs
+// themselves.
+var DeepScratch = &Analyzer{
+	Name: "deepscratch",
+	Doc:  "flag scratch buffers passed to callees whose summaries retain them",
+	Run:  runDeepScratch,
+}
+
+func runDeepScratch(pass *Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Body == nil {
+				return false
+			}
+			name := fd.Name.Name
+			if isScratchAPIName(name) || strings.HasPrefix(name, "append") {
+				return false // links in a recycling chain hand dst to their caller
+			}
+			checkDeepScratchFunc(pass, fd.Body)
+			return false
+		})
+	}
+	return nil
+}
+
+// checkDeepScratchFunc tracks scratch-producer results (with recycled,
+// non-fresh destinations) through one function — including its nested
+// literals, whose captures refer to the same frame — and flags each
+// retained hand-off.
+func checkDeepScratchFunc(pass *Pass, body *ast.BlockStmt) {
+	// tracked maps a local to the rendered scratch dst it aliases.
+	tracked := map[types.Object]string{}
+
+	seen := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	// trackedSet reports whether e is (or is reachable from) a tracked
+	// value, returning the dst description.
+	trackedSet := func(e ast.Expr) (string, types.Object) {
+		return trackedRoot(pass, tracked, e)
+	}
+
+	// resultAliases reports whether call's result aliases a tracked value
+	// (producer recycling, or a summarized callee flowing an argument to
+	// its result), with the dst description. aliasOf resolves either a
+	// rooted value or a nested call — together they follow chains like
+	// wrap(st.AppendProbabilities(buf)).
+	var resultAliases func(call *ast.CallExpr) (string, bool)
+	aliasOf := func(e ast.Expr) (string, bool) {
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			return resultAliases(call)
+		}
+		if base, obj := trackedSet(e); obj != nil {
+			return base, true
+		}
+		return "", false
+	}
+	resultAliases = func(call *ast.CallExpr) (string, bool) {
+		if _, dstIdx, ok := scratchProducer(pass, call); ok {
+			dst := call.Args[dstIdx]
+			if !isNilOrFresh(pass, dst) {
+				return exprString(sliceBase(dst)), true
+			}
+			return "", false
+		}
+		if isBuiltinIn(pass.TypesInfo, call, "append") && len(call.Args) > 0 {
+			return aliasOf(call.Args[0])
+		}
+		if isConversion(pass.TypesInfo, call) && len(call.Args) == 1 {
+			return aliasOf(call.Args[0])
+		}
+		callee := pass.CalleeFunc(call)
+		if callee == nil {
+			return "", false
+		}
+		sum := pass.Prog.Summary(callee)
+		if sum == nil {
+			return "", false
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sum.hasRecv && sum.flows&paramBit(0) != 0 {
+			if base, ok := aliasOf(sel.X); ok {
+				return base, true
+			}
+		}
+		for i, arg := range call.Args {
+			if !sum.ArgFlowsToResult(i) {
+				continue
+			}
+			if base, ok := aliasOf(arg); ok {
+				return base, true
+			}
+		}
+		return "", false
+	}
+
+	// checkCall flags tracked values handed to retaining parameters.
+	checkCall := func(call *ast.CallExpr) {
+		if _, _, ok := scratchProducer(pass, call); ok {
+			return // recycling chain; scratcharena owns the dst rules
+		}
+		callee := pass.CalleeFunc(call)
+		if callee == nil {
+			return
+		}
+		sum := pass.Prog.Summary(callee)
+		if sum == nil {
+			return
+		}
+		if sum.RecvRetained() {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if base, ok := aliasOf(sel.X); ok && isAliasType(pass, sel.X) {
+					report(sel.X.Pos(), "scratch-backed value %s (recycling %s) used as receiver of %s, which retains its receiver beyond the call; the arena overwrites this storage on the next reuse — copy first",
+						renderTarget(sel.X), quoted(base), callee.Name())
+				}
+			}
+		}
+		for i, arg := range call.Args {
+			if !sum.ArgRetained(i) {
+				continue
+			}
+			base, ok := aliasOf(arg)
+			if !ok || !isAliasType(pass, arg) {
+				continue
+			}
+			report(arg.Pos(), "scratch-backed value %s (recycling %s) passed to %s, which retains that parameter beyond the call; the arena overwrites this storage on the next reuse — copy it or let the callee borrow, not keep",
+				renderTarget(arg), quoted(base), callee.Name())
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 && i == 0 {
+					rhs = n.Rhs[0] // res, err := producer(...): value is Lhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				delete(tracked, obj)
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if base, aliases := resultAliases(call); aliases {
+						tracked[obj] = base
+						continue
+					}
+				}
+				if base, robj := trackedSet(rhs); robj != nil && isAliasType(pass, rhs) {
+					tracked[obj] = base
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(n)
+		}
+		return true
+	})
+}

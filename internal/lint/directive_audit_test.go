@@ -1,0 +1,96 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"qtenon/internal/lint"
+)
+
+// sectionRef matches a DESIGN.md invariant citation like "§9.4" or
+// "§10"; every live //lint:ignore reason must carry one, tying each
+// suppression to the documented invariant it excepts.
+var sectionRef = regexp.MustCompile(`§(\d+)(\.\d+)?`)
+
+// TestDirectiveReasonsCiteDesign walks every non-fixture .go file in
+// the module and asserts each //lint:ignore directive's reason cites a
+// DESIGN.md section that actually exists. A suppression whose cited
+// section disappears in a DESIGN.md reorganisation — or that never
+// cited one — fails here, which is what keeps the suppression set from
+// going stale.
+func TestDirectiveReasonsCiteDesign(t *testing.T) {
+	moduleDir, err := lint.ModuleDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := os.ReadFile(filepath.Join(moduleDir, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectionExists := func(major, minor string) bool {
+		if minor != "" {
+			// Subsections appear literally, e.g. "§9.4".
+			return strings.Contains(string(design), "§"+major+minor)
+		}
+		// Top-level sections are markdown headers, e.g. "## 9.".
+		return strings.Contains(string(design), "\n## "+major+".")
+	}
+
+	found := 0
+	err = filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Fixtures deliberately exercise malformed directives; the
+			// audit governs only the live tree.
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			text := strings.TrimSpace(line)
+			if !strings.HasPrefix(text, "//lint:ignore") {
+				continue
+			}
+			found++
+			rel, _ := filepath.Rel(moduleDir, path)
+			where := fmt.Sprintf("%s:%d", rel, i+1)
+
+			// Directive shape: //lint:ignore <analyzers> <reason>
+			fields := strings.SplitN(strings.TrimPrefix(text, "//lint:ignore"), " ", 3)
+			if len(fields) < 3 || strings.TrimSpace(fields[2]) == "" {
+				t.Errorf("%s: directive has no reason", where)
+				continue
+			}
+			reason := fields[2]
+			m := sectionRef.FindStringSubmatch(reason)
+			if m == nil {
+				t.Errorf("%s: reason %q does not cite a DESIGN.md invariant section (§N or §N.M)", where, reason)
+				continue
+			}
+			if !sectionExists(m[1], m[2]) {
+				t.Errorf("%s: reason cites %s, which does not exist in DESIGN.md", where, m[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == 0 {
+		t.Fatal("walked the module without finding any //lint:ignore directive; the known suppression in internal/qsim/fusion.go should exist — did the audit's file walk break?")
+	}
+}

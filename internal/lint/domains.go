@@ -1,0 +1,461 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Unit-domain inference for the unitflow analyzer (DESIGN.md §10). The
+// simulation treats sim.Time as picoseconds and derives it from cycle
+// counts only through sim.Clock; a raw int64 carries no unit, so the
+// analyzer reconstructs one from how the value is produced and named.
+//
+// The lattice is flat with a conflict top:
+//
+//	Unknown  <  {Cycles, Hz, Picoseconds}  <  conflict
+//
+// Conflicting evidence collapses to Unknown at the accessors — the
+// analyzer only acts on uncontested domains, trading recall for zero
+// false positives on genuinely polymorphic helpers.
+
+// Domain classifies what unit an integer (or float) value carries.
+type Domain uint8
+
+const (
+	DomainUnknown Domain = iota
+	DomainCycles
+	DomainHz
+	DomainPicoseconds
+	domainConflict // conflicting evidence; surfaces as Unknown
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainCycles:
+		return "cycles"
+	case DomainHz:
+		return "Hz"
+	case DomainPicoseconds:
+		return "picoseconds"
+	default:
+		return "unknown"
+	}
+}
+
+// concrete collapses conflict to Unknown; analyzers act only on
+// uncontested evidence.
+func (d Domain) concrete() Domain {
+	if d == domainConflict {
+		return DomainUnknown
+	}
+	return d
+}
+
+// domainJoin is the lattice join.
+func domainJoin(a, b Domain) Domain {
+	switch {
+	case a == b:
+		return a
+	case a == DomainUnknown:
+		return b
+	case b == DomainUnknown:
+		return a
+	default:
+		return domainConflict
+	}
+}
+
+// domainOfName is the naming-convention heuristic, the weakest evidence
+// tier. It keys on the repository's documented vocabulary (DESIGN.md
+// §2): "cycle" for clock ticks, "hz"/"freq" for rates. Bare "ps" is
+// accepted, but a "ps" suffix is not — "beats", "ops" and "steps" are
+// counts, not picoseconds.
+func domainOfName(name string) Domain {
+	n := strings.ToLower(name)
+	switch {
+	case strings.Contains(n, "cycle"):
+		return DomainCycles
+	case n == "hz" || strings.HasSuffix(n, "hz") || strings.Contains(n, "freq"):
+		return DomainHz
+	case n == "ps" || strings.Contains(n, "picosecond"):
+		return DomainPicoseconds
+	}
+	return DomainUnknown
+}
+
+// isSimTime reports whether t is (an alias of) qtenon's sim.Time.
+func isSimTime(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == simPkgPath
+}
+
+// isNumericBasic reports whether t is a basic integer or float type —
+// the carriers a unit domain attaches to. sim.Time itself is excluded:
+// it already has a type-level unit.
+func isNumericBasic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	if _, named := t.(*types.Named); named {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// clockMethod returns the sim.Clock method a call invokes, or "".
+func clockMethod(info *types.Info, call *ast.CallExpr) string {
+	f := calleeIn(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != simPkgPath {
+		return ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Clock" {
+		return ""
+	}
+	return f.Name()
+}
+
+// domainScope evaluates unit domains inside one function body.
+type domainScope struct {
+	prog *Program
+	pkg  *Package
+	// vars carries domains for parameters (seeded from the summary) and
+	// locals (inferred from their assignments).
+	vars map[types.Object]Domain
+}
+
+func newDomainScope(prog *Program, pkg *Package) *domainScope {
+	return &domainScope{prog: prog, pkg: pkg, vars: map[types.Object]Domain{}}
+}
+
+// seedParams maps fi's parameter objects to the domains already in sum.
+// A nil sum (curated-inert function) seeds nothing.
+func (dc *domainScope) seedParams(fi *FuncInfo, sum *FuncSummary) {
+	if sum == nil {
+		return
+	}
+	idx := 0
+	seed := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range f.Names {
+				if obj := fi.Pkg.Info.Defs[name]; obj != nil {
+					if idx < len(sum.paramDomain) {
+						dc.vars[obj] = sum.paramDomain[idx]
+					}
+				}
+				idx++
+			}
+		}
+	}
+	seed(fi.Decl.Recv)
+	seed(fi.Decl.Type.Params)
+}
+
+// inferLocals scans assignments, giving locals the joined domain of
+// their right-hand sides. Two passes let chains settle.
+func (dc *domainScope) inferLocals(body *ast.BlockStmt) {
+	info := dc.pkg.Info
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok || len(a.Lhs) != len(a.Rhs) {
+				return true
+			}
+			for i, lhs := range a.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objectIn(info, id)
+				if obj == nil || !isNumericBasic(obj.Type()) {
+					continue
+				}
+				if d := dc.exprDomain(a.Rhs[i]); d != DomainUnknown {
+					dc.vars[obj] = domainJoin(dc.vars[obj], d)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exprDomain computes the unit domain of a numeric expression. It may
+// return domainConflict; callers wanting actionable evidence go through
+// concrete().
+func (dc *domainScope) exprDomain(e ast.Expr) Domain {
+	if e == nil {
+		return DomainUnknown
+	}
+	info := dc.pkg.Info
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := objectIn(info, x)
+		if obj == nil {
+			return DomainUnknown
+		}
+		if d, ok := dc.vars[obj]; ok && d != DomainUnknown {
+			return d
+		}
+		if !isNumericBasic(obj.Type()) {
+			return DomainUnknown
+		}
+		return domainOfName(obj.Name())
+	case *ast.SelectorExpr:
+		// A struct field's domain follows its name (e.g. cfg.HostHz).
+		if obj := objectIn(info, x.Sel); obj != nil && isNumericBasic(obj.Type()) {
+			return domainOfName(x.Sel.Name)
+		}
+		return DomainUnknown
+	case *ast.CallExpr:
+		return dc.callDomain(x)
+	case *ast.BinaryExpr:
+		return dc.binaryDomain(x)
+	case *ast.UnaryExpr:
+		return dc.exprDomain(x.X)
+	}
+	return DomainUnknown
+}
+
+// callDomain handles the producer forms: conversions of sim.Time to a
+// basic numeric (→ picoseconds), sim.Clock accessors, and summarized
+// callees with an inferred result domain or a "…Cycles" name.
+func (dc *domainScope) callDomain(call *ast.CallExpr) Domain {
+	info := dc.pkg.Info
+	if isConversion(info, call) && len(call.Args) == 1 {
+		if tv, ok := info.Types[call]; ok && isNumericBasic(tv.Type) {
+			if isSimTime(typeOfIn(info, call.Args[0])) {
+				return DomainPicoseconds
+			}
+		}
+		return dc.exprDomain(call.Args[0])
+	}
+	switch clockMethod(info, call) {
+	case "CyclesIn", "CyclesCeil":
+		return DomainCycles
+	case "Hz":
+		return DomainHz
+	}
+	callee := calleeIn(info, call)
+	if callee == nil {
+		return DomainUnknown
+	}
+	// Domains attach to raw numerics only: a call returning sim.Time
+	// (e.g. Clock.Cycles) already carries its unit in the type.
+	if tv, ok := info.Types[call]; ok && !isNumericBasic(tv.Type) {
+		return DomainUnknown
+	}
+	if sum := dc.prog.Summary(callee); sum != nil {
+		if d := sum.ResultDomain(); d != DomainUnknown {
+			return d
+		}
+	}
+	if strings.HasSuffix(callee.Name(), "Cycles") {
+		return DomainCycles
+	}
+	return DomainUnknown
+}
+
+// binaryDomain: additive operators preserve a shared domain and
+// propagate a single known side (adding a literal slack to a cycle
+// count keeps it a cycle count); multiplying two known, different
+// domains yields a product unit this lattice cannot name — conflict.
+func (dc *domainScope) binaryDomain(b *ast.BinaryExpr) Domain {
+	switch b.Op.String() {
+	case "+", "-", "%":
+		return domainJoin(dc.exprDomain(b.X), dc.exprDomain(b.Y))
+	case "*", "/":
+		dx, dy := dc.exprDomain(b.X).concrete(), dc.exprDomain(b.Y).concrete()
+		switch {
+		case dx == DomainUnknown:
+			return dy
+		case dy == DomainUnknown:
+			return dx
+		default:
+			return domainConflict
+		}
+	}
+	return DomainUnknown
+}
+
+func typeOfIn(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := objectIn(info, id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// summarizeDomains infers fi's parameter and result domains from four
+// evidence tiers: how callees consume the parameters, which conversions
+// they feed, how they are named, and what the function returns. Joins
+// are monotone, so the enclosing fixpoint terminates. Reports growth.
+func summarizeDomains(p *Program, fi *FuncInfo, sum *FuncSummary) bool {
+	if fi.Pkg.Path == simPkgPath {
+		// The Clock seam converts counts to Time by design; inferring
+		// from its bodies would mislabel Cycles' parameter as
+		// picoseconds. Its contracts are hard-coded in clockMethod and
+		// the unitflow rules instead.
+		return false
+	}
+	info := fi.Pkg.Info
+	// Receiver-first parameter objects, mirroring the bitset indexing.
+	// ordered keeps declaration order for deterministic iteration.
+	paramIdx := map[types.Object]int{}
+	var ordered []types.Object
+	idx := 0
+	index := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					paramIdx[obj] = idx
+					ordered = append(ordered, obj)
+				}
+				idx++
+			}
+		}
+	}
+	index(fi.Decl.Recv)
+	index(fi.Decl.Type.Params)
+
+	changed := false
+	joinParam := func(i int, d Domain) {
+		if d == DomainUnknown || i < 0 || i >= len(sum.paramDomain) {
+			return
+		}
+		if nd := domainJoin(sum.paramDomain[i], d); nd != sum.paramDomain[i] {
+			sum.paramDomain[i] = nd
+			changed = true
+		}
+	}
+	// joinUsage records usage evidence (tiers 1 and 2) for a parameter —
+	// but only when the parameter's name is unit-silent. A declared name
+	// like busCycles outranks how the body consumes the value; otherwise
+	// the very bug unitflow exists to catch (feeding a cycle count into
+	// sim.Time) would count as evidence the parameter holds picoseconds,
+	// conflict with the name, and suppress its own diagnostic.
+	joinUsage := func(e ast.Expr, d Domain) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := objectIn(info, id)
+		if obj == nil || !isNumericBasic(obj.Type()) {
+			return
+		}
+		i, ok := paramIdx[obj]
+		if !ok || domainOfName(obj.Name()) != DomainUnknown {
+			return
+		}
+		joinParam(i, d)
+	}
+
+	// Tier 3 first (cheapest): parameter names.
+	for _, obj := range ordered {
+		if isNumericBasic(obj.Type()) {
+			joinParam(paramIdx[obj], domainOfName(obj.Name()))
+		}
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Tier 2: a parameter fed straight into sim.Time(…) is raw
+		// picoseconds; fed into Clock.Cycles/CyclesFloat it is a count.
+		if isConversion(info, call) && len(call.Args) == 1 {
+			if isSimTime(typeOfIn(info, call)) {
+				joinUsage(call.Args[0], DomainPicoseconds)
+			}
+			return true
+		}
+		switch clockMethod(info, call) {
+		case "Cycles", "CyclesFloat":
+			if len(call.Args) == 1 {
+				joinUsage(call.Args[0], DomainCycles)
+			}
+			return true
+		}
+		// Tier 1: the callee's own summary names the unit it expects.
+		callee := calleeIn(info, call)
+		if callee == nil {
+			return true
+		}
+		csum := p.Summary(callee)
+		if csum == nil {
+			return true
+		}
+		for ai, arg := range call.Args {
+			joinUsage(arg, csum.ArgDomain(ai))
+		}
+		return true
+	})
+
+	// Tier 4: result domain, from returns and the "…Cycles" suffix.
+	sig := fi.Func.Type().(*types.Signature)
+	if sig.Results().Len() > 0 && isNumericBasic(sig.Results().At(0).Type()) {
+		rd := sum.resultDomain
+		if strings.HasSuffix(fi.Func.Name(), "Cycles") {
+			rd = domainJoin(rd, DomainCycles)
+		}
+		dc := newDomainScope(p, fi.Pkg)
+		dc.seedParams(fi, sum)
+		dc.inferLocals(fi.Decl.Body)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // literals return from their own frame
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) == 0 {
+				return true
+			}
+			if d := dc.exprDomain(ret.Results[0]); d != DomainUnknown {
+				rd = domainJoin(rd, d)
+			}
+			return true
+		})
+		if rd != sum.resultDomain {
+			sum.resultDomain = rd
+			changed = true
+		}
+	}
+	return changed
+}

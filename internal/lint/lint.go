@@ -60,6 +60,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-program interprocedural view (call graph +
+	// function summaries) shared by every package in a RunProgram load.
+	// Under the single-package entry points it still exists but covers
+	// only this package, so summaries of cross-package callees degrade to
+	// nil (assumed inert).
+	Prog *Program
+
 	report func(Diagnostic)
 }
 
@@ -183,11 +190,36 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (ignoreIndex, []*di
 }
 
 // Run applies the analyzers to one loaded package and returns the
-// surviving diagnostics sorted by position. Diagnostics on a line
-// governed by a well-formed //lint:ignore directive naming the analyzer
-// are dropped; malformed directives are reported as diagnostics of the
-// pseudo-analyzer "lintdirective".
+// surviving diagnostics sorted by position. The interprocedural Program
+// is built over this package alone, so cross-package summaries degrade
+// to the inert assumption; multi-package loads should prefer RunProgram.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runPackage(pkg, NewProgram([]*Package{pkg}), analyzers)
+}
+
+// RunProgram builds one interprocedural Program over all the packages
+// and applies the analyzers to each, returning diagnostics grouped by
+// package (in the given package order) and sorted by position within
+// each. This is the whole-module entry point: summaries of callees in
+// sibling packages are real, not assumed inert.
+func RunProgram(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := NewProgram(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runPackage(pkg, prog, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}
+
+// runPackage applies the analyzers to one package under a shared
+// Program. Diagnostics on a line governed by a well-formed //lint:ignore
+// directive naming the analyzer are dropped; malformed directives are
+// reported as diagnostics of the pseudo-analyzer "lintdirective".
+func runPackage(pkg *Package, prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	idx, all := parseDirectives(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -197,6 +229,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Prog:      prog,
 		}
 		pass.report = func(d Diagnostic) {
 			key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)

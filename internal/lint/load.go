@@ -42,12 +42,55 @@ type listPkg struct {
 	Error      *struct{ Err string }
 }
 
-// Resolver resolves import paths to export data, shared by every
+// Resolver resolves import paths for the type-checker, shared by every
 // type-check in one load so dependency packages are materialized once.
+// Resolution order:
+//
+//  1. export data from the `go list -export` closure (the fast path —
+//     and mandatory when present: mixing a source-checked copy of a
+//     package with export-data references to it would split its type
+//     identities);
+//  2. packages already type-checked from source in this load (each
+//     Check registers its result, which is how multi-package fixture
+//     modules — which have no export data — import one another);
+//  3. fallback: type-check the dependency from source, when go list
+//     reported its file list but produced no export data (a cold or
+//     poisoned build cache). Standard-library packages never take the
+//     fallback — their export data is part of the toolchain, and
+//     checking them from source would drag in the runtime.
 type Resolver struct {
 	fset    *token.FileSet
-	exports map[string]string // import path → export data file
-	imp     types.Importer
+	exports map[string]string   // import path → export data file
+	srcs    map[string]*listPkg // import path → source location (fallback)
+	loaded  map[string]*types.Package
+	loading map[string]bool // cycle guard for the source fallback
+	expImp  types.Importer  // gc export-data importer
+}
+
+// Import implements types.Importer over the three-step resolution order.
+func (r *Resolver) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := r.exports[path]; ok {
+		return r.expImp.Import(path)
+	}
+	if p, ok := r.loaded[path]; ok {
+		return p, nil
+	}
+	if lp, ok := r.srcs[path]; ok && !lp.Standard && len(lp.GoFiles) > 0 {
+		if r.loading[path] {
+			return nil, fmt.Errorf("lint: import cycle through %q in source fallback", path)
+		}
+		p, err := r.Check(path, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: source fallback for %q: %w", path, err)
+		}
+		return p.Types, nil
+	}
+	// Last resort: the export importer's own error message names the
+	// missing package.
+	return r.expImp.Import(path)
 }
 
 // NewResolver builds a resolver over a `go list -export` run. extra
@@ -77,13 +120,19 @@ func NewResolver(fset *token.FileSet, moduleDir string, patterns, extra []string
 		q := p
 		pkgs[p.ImportPath] = &q
 	}
-	r := &Resolver{fset: fset, exports: map[string]string{}}
+	r := &Resolver{
+		fset:    fset,
+		exports: map[string]string{},
+		srcs:    pkgs,
+		loaded:  map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
 	for path, p := range pkgs {
 		if p.Export != "" {
 			r.exports[path] = p.Export
 		}
 	}
-	r.imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	r.expImp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		exp, ok := r.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("lint: no export data for %q (not in the go list -export closure)", path)
@@ -95,15 +144,31 @@ func NewResolver(fset *token.FileSet, moduleDir string, patterns, extra []string
 
 // NewExportResolver builds a resolver over a caller-supplied export-data
 // lookup — the vettool path, where go vet's config already maps import
-// paths to export files.
+// paths to export files. There is no source fallback: go vet guarantees
+// export data for the whole dependency closure.
 func NewExportResolver(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error)) *Resolver {
-	return &Resolver{fset: fset, imp: importer.ForCompiler(fset, "gc", lookup)}
+	return &Resolver{
+		fset:    fset,
+		loaded:  map[string]*types.Package{},
+		loading: map[string]bool{},
+		expImp:  importer.ForCompiler(fset, "gc", lookup),
+	}
 }
 
 // Check parses and type-checks one package's files against the
 // resolver's dependency closure. path is the import path the package is
-// checked under (analyzers scope rules by it).
+// checked under (analyzers scope rules by it). The checked package is
+// registered with the resolver, so later Checks in the same load can
+// import it from source — the multi-package fixture mechanism.
 func (r *Resolver) Check(path, dir string, fileNames []string) (*Package, error) {
+	if r.loading == nil {
+		r.loading = map[string]bool{}
+	}
+	if r.loaded == nil {
+		r.loaded = map[string]*types.Package{}
+	}
+	r.loading[path] = true
+	defer delete(r.loading, path)
 	var files []*ast.File
 	for _, name := range fileNames {
 		full := name
@@ -126,7 +191,7 @@ func (r *Resolver) Check(path, dir string, fileNames []string) (*Package, error)
 	}
 	var tErrs []error
 	conf := types.Config{
-		Importer: r.imp,
+		Importer: r,
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 		Error:    func(err error) { tErrs = append(tErrs, err) },
 	}
@@ -138,6 +203,7 @@ func (r *Resolver) Check(path, dir string, fileNames []string) (*Package, error)
 	if len(files) > 0 {
 		name = files[0].Name.Name
 	}
+	r.loaded[path] = tpkg
 	return &Package{Path: path, Name: name, Dir: dir, Fset: r.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 

@@ -8,6 +8,9 @@ func All() []*Analyzer {
 		MetricsDiscipline,
 		FloatCompare,
 		EventRetention,
+		ParSafety,
+		UnitFlow,
+		DeepScratch,
 	}
 }
 

@@ -1,0 +1,18 @@
+// Package alib is the dependency side of the cross-package deepscratch
+// fixture: whether Keep retains its parameter is visible to the sibling
+// package only through Keep's summary.
+package alib
+
+var retained [][]uint64
+
+// Keep stores s for later inspection.
+func Keep(s []uint64) { retained = append(retained, s) }
+
+// Scan only reads.
+func Scan(s []uint64) int {
+	n := 0
+	for _, w := range s {
+		n += int(w)
+	}
+	return n
+}

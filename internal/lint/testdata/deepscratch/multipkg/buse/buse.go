@@ -1,0 +1,21 @@
+// Package buse exercises deepscratch across a package boundary: the
+// sample scratch escapes through alib.Keep, whose retention is known
+// only from its summary.
+package buse
+
+import (
+	"math/rand"
+
+	"qtenon/fixture/deepscratch/multipkg/alib"
+	"qtenon/internal/qsim"
+)
+
+func Bad(st *qsim.State, buf []uint64, r *rand.Rand) {
+	s := st.AppendSample(buf, 16, r)
+	alib.Keep(s) // want `passed to Keep, which retains that parameter`
+}
+
+func Good(st *qsim.State, buf []uint64, r *rand.Rand) int {
+	s := st.AppendSample(buf, 16, r)
+	return alib.Scan(s)
+}

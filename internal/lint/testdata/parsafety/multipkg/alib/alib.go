@@ -1,0 +1,21 @@
+// Package alib is the dependency side of the cross-package parsafety
+// fixture: its summaries — not its source proximity — are what the
+// analyzer consults at call sites in the sibling package.
+package alib
+
+// Fill writes every element of dst; the mutation is visible in Fill's
+// summary across the package boundary.
+func Fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// Sum only reads its argument.
+func Sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,33 @@
+// Package buse exercises parsafety's interprocedural leg across a
+// package boundary: alib.Fill's parameter mutation is known only
+// through its function summary.
+package buse
+
+import (
+	"qtenon/fixture/parsafety/multipkg/alib"
+	"qtenon/internal/par"
+)
+
+// Every worker hands the whole shared slice to a mutating callee.
+func Bad(shared []float64) {
+	par.Do(len(shared), func(i int) {
+		alib.Fill(shared, 1) // want `passes captured "shared" to Fill, which its summary shows writes through that parameter`
+	})
+}
+
+// Narrowing the argument to the worker's own partition is the
+// sanctioned shape.
+func Partitioned(shared []float64) {
+	par.Do(len(shared), func(i int) {
+		alib.Fill(shared[i:i+1], 1)
+	})
+}
+
+// Read-only callees need no partitioning at all.
+func ReadOnly(shared []float64) []float64 {
+	out := make([]float64, 4)
+	par.Do(4, func(i int) {
+		out[i] = alib.Sum(shared)
+	})
+	return out
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the unitflow analyzer's three rules: raw
+// cycle counts reinterpreted as picoseconds, arithmetic mixing unit
+// domains, and call arguments whose domain contradicts the callee's.
+package fixture
+
+import "qtenon/internal/sim"
+
+// A cycle count obtained from the clock, fed straight back into
+// sim.Time — off by a factor of the clock period.
+func badConvert(clk sim.Clock, d sim.Time) sim.Time {
+	cycles := clk.CyclesIn(d)
+	return sim.Time(cycles) // want `sim\.Time\(cycles\) reinterprets a cycles value as picoseconds`
+}
+
+// The name alone declares the unit; usage evidence must not talk the
+// analyzer out of the diagnostic.
+func badName(busCycles int64) sim.Time {
+	return sim.Time(busCycles) // want `reinterprets a cycles value as picoseconds`
+}
+
+// Adding a tick count to a rate has no unit this code can name.
+func badMix(clk sim.Clock, d sim.Time) int64 {
+	return clk.CyclesIn(d) + clk.Hz() // want `mixes .* \(cycles\) with .* \(Hz\)`
+}
+
+// Scaling a fractional cycle count by the period by hand — the shape
+// Clock.CyclesFloat exists to replace.
+func badScale(clk sim.Clock, instructions int64, ipc float64) sim.Time {
+	cycles := float64(instructions) / ipc
+	return sim.Time(cycles * float64(clk.Period())) // want `mixes .* \(cycles\) with .* \(picoseconds\)`
+}
+
+// Feeding a frequency into the cycle bridge.
+func badBridge(clk sim.Clock) sim.Time {
+	return clk.Cycles(clk.Hz()) // want `Clock\.Cycles expects a cycle count but .* carries Hz`
+}
+
+// wait's parameter is picoseconds by name; its summary carries that
+// contract to call sites.
+func wait(ps int64) sim.Time { return sim.Time(ps) }
+
+func badCall(clk sim.Clock, d sim.Time) sim.Time {
+	return wait(clk.CyclesIn(d)) // want `wait expects picoseconds for this parameter but .* carries cycles`
+}

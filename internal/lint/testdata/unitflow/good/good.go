@@ -1,0 +1,32 @@
+// Package fixture holds the sanctioned unit-bridging idioms the
+// unitflow analyzer must stay silent on.
+package fixture
+
+import "qtenon/internal/sim"
+
+// Cycle counts cross into time through the Clock bridges.
+func goodCycles(clk sim.Clock, d sim.Time) sim.Time {
+	return clk.Cycles(clk.CyclesIn(d))
+}
+
+// Fractional counts (instructions over IPC) go through CyclesFloat.
+func goodFloat(clk sim.Clock, instructions int64, ipc float64) sim.Time {
+	return clk.CyclesFloat(float64(instructions) / ipc)
+}
+
+// A dimensionless count scaling a duration is ordinary arithmetic.
+func goodCount(n int) sim.Time {
+	return sim.Time(n) * sim.Nanosecond
+}
+
+// Wall-clock literals enter through FromNanoseconds.
+func goodNs() sim.Time {
+	return sim.FromNanoseconds(12.5)
+}
+
+func wait(ps int64) sim.Time { return sim.Time(ps) }
+
+// Picoseconds into a picosecond parameter.
+func goodCall(t sim.Time) sim.Time {
+	return wait(int64(t))
+}

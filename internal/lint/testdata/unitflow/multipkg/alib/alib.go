@@ -1,0 +1,14 @@
+// Package alib is the dependency side of the cross-package unitflow
+// fixture: the unit contracts of its exported functions travel to the
+// sibling package only through their summaries.
+package alib
+
+import "qtenon/internal/sim"
+
+// Wait converts a raw picosecond count — the unit its parameter name
+// declares — to sim.Time.
+func Wait(ps int64) sim.Time { return sim.Time(ps) }
+
+// SpanCycles reports how many ticks of clk fit in d; both its name and
+// its body mark the result as a cycle count.
+func SpanCycles(clk sim.Clock, d sim.Time) int64 { return clk.CyclesIn(d) }

@@ -1,0 +1,17 @@
+// Package buse exercises unitflow across a package boundary: the cycle
+// result of alib.SpanCycles meeting the picosecond parameter of
+// alib.Wait is visible only through their summaries.
+package buse
+
+import (
+	"qtenon/fixture/unitflow/multipkg/alib"
+	"qtenon/internal/sim"
+)
+
+func Bad(clk sim.Clock, d sim.Time) sim.Time {
+	return alib.Wait(alib.SpanCycles(clk, d)) // want `Wait expects picoseconds for this parameter but .* carries cycles`
+}
+
+func Good(t sim.Time) sim.Time {
+	return alib.Wait(int64(t))
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitFlow enforces the time-unit discipline (DESIGN.md §10): sim.Time
+// is picoseconds, cycle counts are dimensionless ticks of a specific
+// sim.Clock, and the only sanctioned bridges between them are the Clock
+// methods (Cycles/CyclesFloat/CyclesIn/CyclesCeil) and
+// sim.FromNanoseconds. A raw int64 carries no unit, so the analyzer
+// reconstructs one interprocedurally (domains.go): from the Clock
+// producers, from conversions of sim.Time, from callee summaries, and —
+// weakest tier — from the repo's naming conventions.
+//
+// Three rules, all acting only on uncontested evidence:
+//
+//  1. sim.Time(x) where x is known to be cycles or Hz — a cycle count
+//     reinterpreted as picoseconds silently rescales every downstream
+//     latency by the clock period; convert through Clock.Cycles (or
+//     CyclesFloat for fractional counts).
+//  2. arithmetic mixing two different known domains (cycles + Hz,
+//     cycles * picoseconds, …) — the product/sum has a unit this code
+//     has no type for; inside internal/sim the Clock does this on
+//     purpose, so that package is the one exemption.
+//  3. a call argument whose known domain differs from the domain the
+//     callee's summary infers for that parameter.
+var UnitFlow = &Analyzer{
+	Name: "unitflow",
+	Doc:  "flag cycle/Hz/picosecond unit mixing outside the Clock seam",
+	Run:  runUnitFlow,
+}
+
+func runUnitFlow(pass *Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") {
+		return nil
+	}
+	if pass.Pkg.Path() == simPkgPath {
+		return nil // the Clock seam multiplies cycles by period by design
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUnitFlowFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkUnitFlowFunc(pass *Pass, fd *ast.FuncDecl) {
+	dc := newDomainScope(pass.Prog, &Package{
+		Path:  pass.Pkg.Path(),
+		Fset:  pass.Fset,
+		Types: pass.Pkg,
+		Info:  pass.TypesInfo,
+	})
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		if fi := pass.Prog.Info(obj); fi != nil {
+			dc.seedParams(fi, pass.Prog.Summary(obj))
+		}
+	}
+	dc.inferLocals(fd.Body)
+
+	seen := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkUnitMix(dc, n, report)
+		case *ast.CallExpr:
+			checkUnitCall(pass, dc, n, report)
+		}
+		return true
+	})
+}
+
+// binary operators whose operands must share a unit.
+var unitMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.LSS: true, token.GTR: true, token.LEQ: true,
+	token.GEQ: true, token.EQL: true, token.NEQ: true,
+}
+
+func checkUnitMix(dc *domainScope, b *ast.BinaryExpr, report func(token.Pos, string, ...any)) {
+	if !unitMixOps[b.Op] {
+		return
+	}
+	dx := dc.exprDomain(b.X).concrete()
+	dy := dc.exprDomain(b.Y).concrete()
+	if dx == DomainUnknown || dy == DomainUnknown || dx == dy {
+		return
+	}
+	report(b.OpPos, "%q mixes %s (%s) with %s (%s); bridge units through sim.Clock (Cycles/CyclesFloat/CyclesIn) instead of raw arithmetic",
+		b.Op.String(), renderExpr(b.X), dx, renderExpr(b.Y), dy)
+}
+
+func checkUnitCall(pass *Pass, dc *domainScope, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	// Rule 1: sim.Time(x) over a known cycle/Hz value.
+	if isConversion(info, call) && len(call.Args) == 1 {
+		if isSimTime(typeOfIn(info, call)) {
+			d := dc.exprDomain(call.Args[0]).concrete()
+			if d == DomainCycles || d == DomainHz {
+				report(call.Pos(), "sim.Time(%s) reinterprets a %s value as picoseconds; convert cycle counts with Clock.Cycles or Clock.CyclesFloat",
+					renderExpr(call.Args[0]), d)
+			}
+		}
+		return
+	}
+	// Rule 3a: the Clock bridges themselves take cycle counts.
+	switch clockMethod(info, call) {
+	case "Cycles", "CyclesFloat":
+		if len(call.Args) == 1 {
+			d := dc.exprDomain(call.Args[0]).concrete()
+			if d != DomainUnknown && d != DomainCycles {
+				report(call.Args[0].Pos(), "Clock.%s expects a cycle count but %s carries %s",
+					calleeIn(info, call).Name(), renderExpr(call.Args[0]), d)
+			}
+		}
+		return
+	}
+	// Rule 3b: callee summaries.
+	callee := calleeIn(info, call)
+	if callee == nil {
+		return
+	}
+	sum := pass.Prog.Summary(callee)
+	if sum == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		want := sum.ArgDomain(i)
+		if want == DomainUnknown {
+			continue
+		}
+		got := dc.exprDomain(arg).concrete()
+		if got == DomainUnknown || got == want {
+			continue
+		}
+		report(arg.Pos(), "%s expects %s for this parameter but %s carries %s",
+			callee.Name(), want, renderExpr(arg), got)
+	}
+}
+
+// renderExpr gives a short printable form of an expression for
+// diagnostics, falling back to a generic noun for complex shapes.
+func renderExpr(e ast.Expr) string {
+	if s := exprString(e); s != "" {
+		return s
+	}
+	return "this expression"
+}

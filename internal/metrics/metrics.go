@@ -26,15 +26,25 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"qtenon/internal/san"
 )
 
 // Counter is a monotonically increasing accumulator.
-type Counter struct{ v atomic.Int64 }
+type Counter struct {
+	v    atomic.Int64
+	name string // registry name, for sanitizer diagnostics
+}
 
 // Add increases the counter. Calling on a nil counter is a no-op.
+// Counters are monotone; under the simsan build tag a negative delta
+// panics naming the instrument.
 func (c *Counter) Add(d int64) {
 	if c == nil {
 		return
+	}
+	if san.Enabled && d < 0 {
+		san.Failf("metrics", "counter %q decremented by %d — counters are monotone", c.name, d)
 	}
 	c.v.Add(d)
 }
@@ -51,10 +61,15 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge tracks an instantaneous level and its high-water mark.
-type Gauge struct{ v, high atomic.Int64 }
+type Gauge struct {
+	v, high atomic.Int64
+	name    string // registry name, for sanitizer diagnostics
+}
 
 // Set records the current level and lifts the high-water mark if the
-// level exceeds it. Calling on a nil gauge is a no-op.
+// level exceeds it. Calling on a nil gauge is a no-op. Under the simsan
+// build tag each Set audits that the high-water mark ends at or above
+// the level just set.
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -63,7 +78,12 @@ func (g *Gauge) Set(v int64) {
 	for {
 		h := g.high.Load()
 		if v <= h || g.high.CompareAndSwap(h, v) {
-			return
+			break
+		}
+	}
+	if san.Enabled {
+		if h := g.high.Load(); h < v {
+			san.Failf("metrics", "gauge %q high-water %d below the level %d just set", g.name, h, v)
 		}
 	}
 }
@@ -86,12 +106,20 @@ func (g *Gauge) High() int64 {
 
 // Timer accumulates durations. The unit is the caller's (Qtenon layers
 // observe sim.Time picoseconds); the registry only sums and counts.
-type Timer struct{ count, total atomic.Int64 }
+type Timer struct {
+	count, total atomic.Int64
+	name         string // registry name, for sanitizer diagnostics
+}
 
 // Observe adds one duration sample. Calling on a nil timer is a no-op.
+// Durations are non-negative; under the simsan build tag a negative
+// sample panics naming the instrument.
 func (t *Timer) Observe(d int64) {
 	if t == nil {
 		return
+	}
+	if san.Enabled && d < 0 {
+		san.Failf("metrics", "timer %q observed negative duration %d", t.name, d)
 	}
 	t.count.Add(1)
 	t.total.Add(d)
@@ -138,7 +166,7 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	c, ok := r.counters[name]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{name: name}
 		r.counters[name] = c
 	}
 	return c
@@ -156,7 +184,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	}
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{name: name}
 		r.gauges[name] = g
 	}
 	return g
@@ -174,7 +202,7 @@ func (r *Registry) Timer(name string) *Timer {
 	}
 	t, ok := r.timers[name]
 	if !ok {
-		t = &Timer{}
+		t = &Timer{name: name}
 		r.timers[name] = t
 	}
 	return t

@@ -1,0 +1,57 @@
+//go:build simsan
+
+package metrics_test
+
+import (
+	"strings"
+	"testing"
+
+	"qtenon/internal/metrics"
+)
+
+func metricsMustPanic(t *testing.T, fragments []string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a simsan panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v is not the simsan message string", r)
+		}
+		for _, frag := range fragments {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("panic %q does not contain %q", msg, frag)
+			}
+		}
+	}()
+	f()
+}
+
+func TestSimsanCounterMonotone(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("slt.hits")
+	c.Add(3)
+	metricsMustPanic(t, []string{"simsan: metrics:", `counter "slt.hits"`, "monotone"}, func() {
+		c.Add(-1)
+	})
+}
+
+func TestSimsanTimerNonNegative(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tm := reg.Timer("bus.beat_latency")
+	tm.Observe(12)
+	metricsMustPanic(t, []string{"simsan: metrics:", `timer "bus.beat_latency"`, "negative"}, func() {
+		tm.Observe(-4)
+	})
+}
+
+// Nil instruments stay no-ops under the sanitizer: the nil-sink
+// contract outranks the checks.
+func TestSimsanNilInstrumentsStayInert(t *testing.T) {
+	var c *metrics.Counter
+	var tm *metrics.Timer
+	c.Add(-5)
+	tm.Observe(-5)
+}

@@ -175,19 +175,24 @@ func evalPair(eval Evaluator, a, b []float64, parallelism int) (va, vb float64, 
 		vb, err = eval(b)
 		return va, vb, err
 	}
-	var errA, errB error
+	// Slot-partitioned results: the goroutine owns index 0, this frame
+	// owns index 1, so neither writer touches shared state (the same
+	// discipline parsafety enforces on par closures).
+	var vals [2]float64
+	var errs [2]error
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() {
+	go func(slot int) {
 		defer wg.Done()
-		va, errA = eval(a)
-	}()
-	vb, errB = eval(b)
+		vals[slot], errs[slot] = eval(a)
+	}(0)
+	vals[1], errs[1] = eval(b)
 	wg.Wait()
-	if errA != nil {
-		return va, vb, errA
+	va, vb = vals[0], vals[1]
+	if errs[0] != nil {
+		return va, vb, errs[0]
 	}
-	return va, vb, errB
+	return va, vb, errs[1]
 }
 
 // GradientDescent minimizes eval with the parameter-shift rule.

@@ -127,7 +127,7 @@ func matMul(a, b [4]complex128) [4]complex128 {
 // tolerance (a near-diagonal matrix through the diagonal kernel would
 // silently drop its off-diagonal amplitude flow).
 //
-//lint:ignore floatcompare exact zero check selects a kernel; a tolerance would change numerics
+//lint:ignore floatcompare exact zero check selects a kernel; a tolerance would change numerics (DESIGN.md §9.4)
 func isDiagonal(m [4]complex128) bool { return m[1] == 0 && m[2] == 0 }
 
 // merge1Q folds a single-qubit matrix into the qubit's pending run.

@@ -5,6 +5,7 @@ import (
 	qrng "qtenon/internal/rng"
 
 	"qtenon/internal/par"
+	"qtenon/internal/san"
 )
 
 // Measurement sampling. The old implementation rebuilt an O(2^n)
@@ -159,6 +160,9 @@ func (s *State) AppendSample(dst []uint64, shots int, rng *rand.Rand) []uint64 {
 	if shots <= 0 {
 		return dst
 	}
+	if san.Enabled {
+		san.Verify("qsim.State.AppendSample", dst)
+	}
 	t := s.ensureSampler()
 	start := len(dst)
 	if tot := start + shots; tot <= cap(dst) {
@@ -182,6 +186,9 @@ func (s *State) AppendSample(dst []uint64, shots int, rng *rand.Rand) []uint64 {
 			out[k] = uint64(t.draw(sub))
 		}
 	})
+	if san.Enabled {
+		san.Plant("qsim.State.AppendSample", dst)
+	}
 	return dst
 }
 

@@ -1,0 +1,44 @@
+//go:build simsan
+
+package qsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"qtenon/internal/qsim"
+)
+
+// TestSimsanProbabilitiesAliasReuse drives the scratch canary end to
+// end through the public API: an alias retained across
+// AppendProbabilities handouts that writes into the arena's spare
+// capacity must panic — naming the arena — on the next handout.
+func TestSimsanProbabilitiesAliasReuse(t *testing.T) {
+	st := qsim.NewState(3)
+	// One element of spare capacity gives the sanitizer a canary slot.
+	buf := make([]float64, 0, (1<<3)+1)
+
+	p := st.AppendProbabilities(buf)
+	// Honest recycling round-trips cleanly.
+	p = st.AppendProbabilities(p[:0])
+
+	// The bug: a full-capacity alias kept from the previous borrow
+	// writes into storage the arena has reclaimed.
+	stale := p[:cap(p)]
+	stale[len(stale)-1] = 0.25
+
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("expected a simsan panic, got %v", r)
+		}
+		for _, frag := range []string{"simsan: qsim.State.AppendProbabilities:", "canary", "alias retained"} {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("panic %q does not contain %q", msg, frag)
+			}
+		}
+	}()
+	st.AppendProbabilities(p[:0])
+	t.Fatal("clobbered canary was not detected")
+}

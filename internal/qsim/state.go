@@ -37,6 +37,7 @@ import (
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/par"
+	"qtenon/internal/san"
 )
 
 // MaxQubits bounds exact simulation; 2^24 amplitudes (256 MiB) is the
@@ -330,6 +331,9 @@ func (s *State) Probabilities() []float64 {
 // form of Probabilities (pass dst[:0] to recycle a prior snapshot's
 // storage).
 func (s *State) AppendProbabilities(dst []float64) []float64 {
+	if san.Enabled {
+		san.Verify("qsim.State.AppendProbabilities", dst)
+	}
 	amp := s.amp
 	start := len(dst)
 	dst = growFloat64(dst, len(amp))
@@ -340,6 +344,9 @@ func (s *State) AppendProbabilities(dst []float64) []float64 {
 			p[i] = real(a)*real(a) + imag(a)*imag(a)
 		}
 	})
+	if san.Enabled {
+		san.Plant("qsim.State.AppendProbabilities", dst)
+	}
 	return dst
 }
 

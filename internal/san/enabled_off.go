@@ -1,0 +1,8 @@
+//go:build !simsan
+
+package san
+
+// Enabled is false in ordinary builds: every `if san.Enabled { … }`
+// block is dead code the compiler eliminates, so the sanitizer costs
+// nothing when the simsan build tag is off.
+const Enabled = false

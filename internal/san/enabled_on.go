@@ -1,0 +1,9 @@
+//go:build simsan
+
+package san
+
+// Enabled reports that this binary was built with the simsan runtime
+// sanitizer. Call sites gate every check on this constant, so the
+// checks — and the argument construction feeding them — compile away
+// entirely in ordinary builds.
+const Enabled = true

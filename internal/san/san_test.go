@@ -1,0 +1,37 @@
+package san_test
+
+import (
+	"strings"
+	"testing"
+
+	"qtenon/internal/san"
+)
+
+// TestDisabledIsInert pins the production contract: without the simsan
+// build tag, Plant and Verify are no-ops — no canary is written, no
+// claim is kept, and a clobbered buffer passes Verify silently.
+func TestDisabledIsInert(t *testing.T) {
+	if san.Enabled {
+		t.Skip("simsan build: covered by simsan_test.go")
+	}
+	buf := make([]float64, 4, 8)
+	san.Plant("arena.a", buf)
+	if spare := buf[:cap(buf)]; spare[len(spare)-1] != 0 {
+		t.Fatalf("Plant wrote a canary while disabled: %v", spare)
+	}
+	buf[:cap(buf)][cap(buf)-1] = 42 // would clobber a canary if one existed
+	san.Verify("arena.a", buf[:0])  // must not panic
+}
+
+// Failf itself is unconditional — callers gate on Enabled — so its
+// message format is pinned in both build modes.
+func TestFailfFormat(t *testing.T) {
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "simsan: sim.Engine: now=7") {
+			t.Fatalf("Failf panic = %v, want simsan-prefixed component message", r)
+		}
+	}()
+	san.Failf("sim.Engine", "now=%d", 7)
+}

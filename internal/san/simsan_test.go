@@ -1,0 +1,64 @@
+//go:build simsan
+
+package san_test
+
+import (
+	"strings"
+	"testing"
+
+	"qtenon/internal/san"
+)
+
+// mustPanic runs f and asserts it panics with a message containing each
+// of the given fragments.
+func mustPanic(t *testing.T, f func(), fragments ...string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a simsan panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v is not the simsan message string", r)
+		}
+		for _, frag := range fragments {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("panic %q does not contain %q", msg, frag)
+			}
+		}
+	}()
+	f()
+}
+
+func TestCanaryRoundTrip(t *testing.T) {
+	buf := make([]float64, 4, 8)
+	san.Plant("arena.a", buf)
+	// An honest recycle: the spare capacity is untouched.
+	san.Verify("arena.a", buf[:0])
+	san.Plant("arena.a", buf)
+
+	// A stale alias writes into the spare capacity the arena owns.
+	alias := buf[:cap(buf)]
+	alias[len(alias)-1] = 0
+	mustPanic(t, func() { san.Verify("arena.b", buf[:0]) },
+		"simsan: arena.b:", "planted by arena.a", "alias retained from a previous borrow")
+}
+
+func TestCanarySkipsFullBuffers(t *testing.T) {
+	// cap == len leaves no slot to stamp; Plant must drop any stale
+	// claim instead of corrupting live data.
+	full := make([]uint64, 4)
+	san.Plant("arena.full", full)
+	for _, v := range full {
+		if v != 0 {
+			t.Fatalf("Plant wrote into live data of a full buffer: %v", full)
+		}
+	}
+	san.Verify("arena.full", full) // no claim → no panic
+}
+
+func TestFailfNamesComponent(t *testing.T) {
+	mustPanic(t, func() { san.Failf("pipeline.Scheduler", "slot %d double-booked", 3) },
+		"simsan: pipeline.Scheduler: slot 3 double-booked")
+}

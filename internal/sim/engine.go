@@ -2,6 +2,7 @@ package sim
 
 import (
 	"qtenon/internal/metrics"
+	"qtenon/internal/san"
 )
 
 // Engine is a discrete-event simulator. Events are closures scheduled at
@@ -154,6 +155,9 @@ func (r *eventRing) pop() event {
 
 func (r *eventRing) peek() *event { return &r.buf[r.head] }
 
+// at returns the i-th queued event in FIFO order (sanitizer audits).
+func (r *eventRing) at(i int) *event { return &r.buf[(r.head+i)%len(r.buf)] }
+
 // reset empties the ring, clearing occupied slots so no closures stay
 // reachable, and keeps the buffer for reuse.
 func (r *eventRing) reset() {
@@ -247,12 +251,53 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.popNext()
+	if san.Enabled {
+		e.sanCheckPop(&ev)
+	}
 	e.now = ev.at
 	e.nexec++
 	e.cEvents.Inc()
 	e.gDepth.Set(int64(e.Pending()))
 	ev.fn()
 	return true
+}
+
+// sanCheckPop audits the event-ordering invariants after each pop; it
+// runs only under the simsan build tag (the call site gates on
+// san.Enabled, so ordinary builds compile it away along with the call).
+// Three invariants: the popped event must not precede the clock
+// (causality — executing it would rewind time for its observers), the
+// 4-ary heap must satisfy its shape property at every node, and the
+// calendar bucket must be FIFO (strictly increasing seq) at a single
+// timestamp no later than the heap's minimum.
+func (e *Engine) sanCheckPop(ev *event) {
+	if ev.at < e.now {
+		san.Failf("sim.Engine", "causality violation: popped event at t=%d (seq %d) precedes now=%d", int64(ev.at), ev.seq, int64(e.now))
+	}
+	for i := 1; i < len(e.heap); i++ {
+		if p := (i - 1) / 4; e.heap[i].before(&e.heap[p]) {
+			san.Failf("sim.Engine", "heap order violated: child %d (t=%d seq=%d) sorts before parent %d (t=%d seq=%d)",
+				i, int64(e.heap[i].at), e.heap[i].seq, p, int64(e.heap[p].at), e.heap[p].seq)
+		}
+	}
+	for i := 1; i < e.bucket.n; i++ {
+		prev, cur := e.bucket.at(i-1), e.bucket.at(i)
+		if cur.at != prev.at {
+			san.Failf("sim.Engine", "calendar bucket mixes timestamps t=%d and t=%d", int64(prev.at), int64(cur.at))
+		}
+		if cur.seq <= prev.seq {
+			san.Failf("sim.Engine", "calendar bucket FIFO violated: seq %d follows seq %d", cur.seq, prev.seq)
+		}
+	}
+	if e.bucket.n > 0 && len(e.heap) > 0 && e.heap[0].at < e.bucket.peek().at {
+		// Legal only transiently (At below the bucket's timestamp); the
+		// pop path must then have drained from the heap, so by the time we
+		// audit, a strictly earlier heap minimum means the popped event
+		// came from the wrong queue.
+		if ev.at > e.heap[0].at {
+			san.Failf("sim.Engine", "popped t=%d while heap minimum t=%d is earlier", int64(ev.at), int64(e.heap[0].at))
+		}
+	}
 }
 
 // Run executes events until the queue drains or Halt is called, and

@@ -96,6 +96,12 @@ func (c Clock) Period() Time { return c.period }
 // Cycles converts a cycle count to a duration.
 func (c Clock) Cycles(n int64) Time { return Time(n) * c.period }
 
+// CyclesFloat converts a fractional cycle count to a duration,
+// truncating to the enclosing picosecond — the bridge for rate-derived
+// counts like instructions/IPC, so callers never multiply raw cycle
+// floats by Period themselves.
+func (c Clock) CyclesFloat(n float64) Time { return Time(n * float64(c.period)) }
+
 // CyclesIn reports how many full cycles fit in d.
 func (c Clock) CyclesIn(d Time) int64 { return int64(d / c.period) }
 

@@ -1,0 +1,52 @@
+//go:build simsan
+
+package tilelink
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSimsanTransferAliasReuse drives the scratch canary through
+// TransferReuse: retaining res.Data across calls and writing through it
+// at full capacity must panic, naming the transfer arena, when the
+// buffer is recycled.
+func TestSimsanTransferAliasReuse(t *testing.T) {
+	bus, err := NewBus(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbq := NewRBQ(32, 8, 4096)
+
+	const beats = 4
+	buf := make([]uint64, 0, beats+1) // one spare slot for the canary
+	res, err := TransferReuse(bus, rbq, 0, beats, false, nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest recycling round-trips cleanly.
+	res, err = TransferReuse(bus, rbq, 0, beats, false, nil, res.Data[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The documented contract violation: an alias of dataBuf retained
+	// across calls writes into the recycled storage.
+	stale := res.Data[:cap(res.Data)]
+	stale[len(stale)-1] = 7
+
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("expected a simsan panic, got %v", r)
+		}
+		for _, frag := range []string{"simsan: tilelink.TransferReuse:", "canary", "alias retained"} {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("panic %q does not contain %q", msg, frag)
+			}
+		}
+	}()
+	_, _ = TransferReuse(bus, rbq, 0, beats, false, nil, res.Data[:0])
+	t.Fatal("clobbered canary was not detected")
+}
