@@ -6,6 +6,7 @@ package qtenon
 // produced by `go run ./cmd/qtenon-bench`.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -108,6 +109,30 @@ func BenchmarkStatevector20QubitSerial(b *testing.B) {
 	par.SetWorkers(1)
 	defer par.SetWorkers(0)
 	BenchmarkStatevector20Qubit(b)
+}
+
+// BenchmarkStatevector20QubitWorkers sweeps the worker-pool width over
+// the tiled 20-qubit kernels — the GOMAXPROCS scaling curve of
+// EXPERIMENTS.md EXP-6. Amplitude arithmetic is identical at every
+// width (chunk-ordered deterministic reductions), so only wall-clock
+// moves.
+func BenchmarkStatevector20QubitWorkers(b *testing.B) {
+	w, err := vqa.NewQAOA(20, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := w.Circuit.Bind(w.InitialParams)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			par.SetWorkers(workers)
+			defer par.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := qsim.Run(bound); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSampleCached measures repeated sampling of an unchanged

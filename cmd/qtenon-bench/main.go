@@ -7,9 +7,11 @@
 //	qtenon-bench -exp fig13      # one experiment
 //	qtenon-bench -quick          # CI-sized parameters
 //	qtenon-bench -list           # list experiment ids
+//	qtenon-bench -json out.json  # also emit machine-readable timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,24 @@ import (
 	"qtenon/internal/wallclock"
 )
 
+// jsonReport is the machine-readable run record the -json flag emits —
+// the in-tree perf trajectory (BENCH_6.json at the repo root is one of
+// these, regenerated per perf-relevant PR).
+type jsonReport struct {
+	Schema      string           `json:"schema"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Quick       bool             `json:"quick"`
+	Experiments []jsonExperiment `json:"experiments"`
+	CacheHits   int64            `json:"cache_hits"`
+	CacheMisses int64            `json:"cache_misses"`
+}
+
+type jsonExperiment struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
 func main() {
 	var (
 		exp        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
@@ -30,6 +50,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write sweep data (fig11/fig12) as CSV into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		jsonOut    = flag.String("json", "", "write per-experiment wall-clock timings as JSON to this file")
 	)
 	flag.Parse()
 
@@ -109,15 +130,40 @@ func main() {
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
+	rep := jsonReport{
+		Schema:     "qtenon-bench/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
 	for _, name := range names {
+		name = strings.TrimSpace(name)
 		sw := wallclock.Start()
-		out, err := bench.Run(strings.TrimSpace(name), sc)
+		out, err := bench.Run(name, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qtenon-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		elapsed := sw.Elapsed()
 		fmt.Print(out)
-		fmt.Printf("[%s completed in %v]\n\n", name, sw.Elapsed().Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
+		rep.Experiments = append(rep.Experiments, jsonExperiment{
+			Name:   name,
+			WallMS: float64(elapsed) / float64(time.Millisecond),
+		})
 	}
 	fmt.Println(bench.CacheStatsLine())
+	if *jsonOut != "" {
+		rep.CacheHits, rep.CacheMisses = bench.CacheStats()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonOut, len(rep.Experiments))
+	}
 }

@@ -63,6 +63,26 @@ type Instrumented interface {
 	Metrics() *metrics.Registry
 }
 
+// Batcher is implemented by backends that can evaluate a whole batch of
+// parameter vectors in one call — the batched parameter-shift path.
+// EvaluateBatch must be equivalent to calling Evaluate once per vector
+// in batch order: identical values, identical accounting. The accounting
+// machines satisfy this trivially (their evaluations are inherently
+// serial events on one machine timeline); simulator-only backends may
+// share a fused-gate plan and scratch arena across the batch.
+type Batcher interface {
+	EvaluateBatch(sets [][]float64, out []float64) error
+}
+
+// BatchOf returns b's batch evaluator when it implements Batcher, else
+// nil.
+func BatchOf(b Backend) opt.BatchEvaluator {
+	if bb, ok := b.(Batcher); ok {
+		return bb.EvaluateBatch
+	}
+	return nil
+}
+
 // MetricsOf returns b's metrics registry, or nil when b is not
 // instrumented — safe to snapshot either way.
 func MetricsOf(b Backend) *metrics.Registry {
@@ -90,8 +110,24 @@ func Optimize(alg Algorithm, eval opt.Evaluator, initial []float64, o opt.Option
 // optimizer, which is authoritative for the run (the backend may have
 // been evaluated before, e.g. by a warm-up; a fresh instance agrees with
 // its own counts).
+//
+// GD-shaped runs on a Batcher backend route through the batched
+// parameter-shift path (one EvaluateBatch per gradient), but only on the
+// serial default: Parallelism > 1 explicitly requests concurrent
+// Evaluate calls, which a single batch call does not provide. Both paths
+// produce identical results by the Batcher contract.
 func RunOn(b Backend, initial []float64, alg Algorithm, o opt.Options) (report.RunResult, error) {
-	res, err := Optimize(alg, b.Evaluate, initial, o)
+	var res opt.Result
+	var err error
+	if batch := BatchOf(b); batch != nil && o.Parallelism <= 1 && (alg == GD || alg == Adam) {
+		if alg == Adam {
+			res, err = opt.AdamBatch(batch, initial, o)
+		} else {
+			res, err = opt.GradientDescentBatch(batch, initial, o)
+		}
+	} else {
+		res, err = Optimize(alg, b.Evaluate, initial, o)
+	}
 	if err != nil {
 		return report.RunResult{}, err
 	}

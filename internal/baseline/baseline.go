@@ -165,6 +165,21 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 // Metrics exposes the instance's metrics registry.
 func (s *System) Metrics() *metrics.Registry { return s.reg }
 
+// EvaluateBatch evaluates every parameter vector in batch order —
+// backend.Batcher. Like the Qtenon machine, baseline evaluations are
+// serial accounting events, so the batch is the serial sequence with
+// identical results; see system.EvaluateBatch.
+func (s *System) EvaluateBatch(sets [][]float64, out []float64) error {
+	for k, p := range sets {
+		v, err := s.Evaluate(p)
+		if err != nil {
+			return err
+		}
+		out[k] = v
+	}
+	return nil
+}
+
 // Evaluate runs one cost evaluation with full baseline accounting. It is
 // an opt.Evaluator.
 func (s *System) Evaluate(params []float64) (float64, error) {

@@ -1,0 +1,159 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// batchTestCost is a deterministic non-trivial objective: a coupled
+// transcendental bowl whose gradient varies across iterations, so any
+// ordering or numeric divergence between the serial and batched drivers
+// shows up in the history.
+func batchTestCost(p []float64) (float64, error) {
+	s := 0.0
+	for i, x := range p {
+		s += math.Sin(x+0.3*float64(i)) + 0.5*x*x
+		if i > 0 {
+			s += 0.25 * math.Cos(x*p[i-1])
+		}
+	}
+	return s, nil
+}
+
+func batchTestOptions(iters int) Options {
+	o := DefaultOptions()
+	o.Iterations = iters
+	return o
+}
+
+// The batched gradient-descent driver over the serial reference adapter
+// must be bit-identical to the serial driver: same history, same final
+// parameters, same evaluation count.
+func TestGradientDescentBatchMatchesSerial(t *testing.T) {
+	initial := []float64{0.4, -1.2, 2.0, 0.05}
+	o := batchTestOptions(8)
+	want, err := GradientDescent(batchTestCost, initial, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GradientDescentBatch(Batch(batchTestCost), initial, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, got, want)
+}
+
+// Same contract for Adam.
+func TestAdamBatchMatchesSerial(t *testing.T) {
+	initial := []float64{0.4, -1.2, 2.0, 0.05, 1.7}
+	o := batchTestOptions(8)
+	want, err := Adam(batchTestCost, initial, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AdamBatch(Batch(batchTestCost), initial, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, got, want)
+}
+
+func compareResults(t *testing.T, got, want Result) {
+	t.Helper()
+	if got.Evaluations != want.Evaluations {
+		t.Errorf("evaluations = %d, want %d", got.Evaluations, want.Evaluations)
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("history length = %d, want %d", len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		if got.History[i] != want.History[i] {
+			t.Errorf("history[%d] = %.17g, want %.17g", i, got.History[i], want.History[i])
+		}
+	}
+	for i := range want.Params {
+		if got.Params[i] != want.Params[i] {
+			t.Errorf("params[%d] = %.17g, want %.17g", i, got.Params[i], want.Params[i])
+		}
+	}
+}
+
+// The batch a BatchEvaluator sees per iteration is [+0, −0, +1, −1, …]
+// followed by one single-point batch at the updated parameters — the
+// serial shiftGradient's exact evaluation sequence (DESIGN.md §11.4).
+func TestBatchOrderIsSerialShiftOrder(t *testing.T) {
+	initial := []float64{1.0, 2.0}
+	o := batchTestOptions(1)
+	var batches [][]int // lengths seen
+	var firstBatch [][]float64
+	eval := func(sets [][]float64, out []float64) error {
+		batches = append(batches, []int{len(sets)})
+		if firstBatch == nil {
+			for _, s := range sets {
+				firstBatch = append(firstBatch, append([]float64(nil), s...))
+			}
+		}
+		for k := range sets {
+			v, err := batchTestCost(sets[k])
+			if err != nil {
+				return err
+			}
+			out[k] = v
+		}
+		return nil
+	}
+	if _, err := GradientDescentBatch(eval, initial, o); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 || batches[0][0] != 4 || batches[1][0] != 1 {
+		t.Fatalf("batch sizes = %v, want [[4] [1]]", batches)
+	}
+	s := o.ShiftScale
+	want := [][]float64{
+		{1 + s, 2}, {1 - s, 2},
+		{1, 2 + s}, {1, 2 - s},
+	}
+	for k := range want {
+		for i := range want[k] {
+			if firstBatch[k][i] != want[k][i] {
+				t.Fatalf("batch[%d] = %v, want %v", k, firstBatch[k], want[k])
+			}
+		}
+	}
+}
+
+// Errors from the evaluator surface with the evaluations counted so far.
+func TestBatchErrorPropagation(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	eval := func(sets [][]float64, out []float64) error { return boom }
+	if _, err := GradientDescentBatch(eval, []float64{1}, batchTestOptions(2)); err != boom {
+		t.Errorf("GradientDescentBatch error = %v, want boom", err)
+	}
+	if _, err := AdamBatch(eval, []float64{1}, batchTestOptions(2)); err != boom {
+		t.Errorf("AdamBatch error = %v, want boom", err)
+	}
+}
+
+// The convenience router prefers the batch path and falls back serially.
+func TestGradientDescentEvaluatorRouting(t *testing.T) {
+	initial := []float64{0.3, -0.7}
+	o := batchTestOptions(3)
+	want, err := GradientDescent(batchTestCost, initial, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBatch, err := GradientDescentEvaluator(nil, Batch(batchTestCost), initial, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, viaBatch, want)
+	viaSerial, err := GradientDescentEvaluator(batchTestCost, nil, initial, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, viaSerial, want)
+	if _, err := GradientDescentEvaluator(nil, nil, initial, o); err == nil {
+		t.Error("router accepted two nil evaluators")
+	}
+}

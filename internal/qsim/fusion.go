@@ -33,20 +33,31 @@ func panicUnsupported(g circuit.Gate) {
 // bit-exactly; the fusion_test property test pins that bound. The fused
 // program depends only on the gate list — never on worker count — so
 // results remain deterministic across GOMAXPROCS.
+//
+// Execution is cache-blocked (DESIGN.md §11.3): consecutive fused ops
+// whose amplitude coupling fits inside a tile of tileAmps amplitudes are
+// grouped, and the whole group is applied tile by tile, so a tile's two
+// 32 KiB float arrays stay L1/L2-resident across the group instead of
+// each op streaming the full statevector through the cache.
+
+// tileAmps is the cache tile: 4096 amplitudes = 2 × 32 KiB of SoA
+// floats, sized so a tile's re and im arrays together fit comfortably in
+// a 64 KiB L1 slice with room for the matrix constants (DESIGN.md
+// §11.3). It must divide par's chunk size (1<<13) so tile boundaries are
+// identical whether a chunk runs inline or on a worker — tiling, like
+// fusion, never depends on worker count.
+const tileAmps = 1 << 12
 
 // diagTerm is one factor of a batched phase sweep. Every diagonal gate
 // reduces to the same branchless form: amplitude i is multiplied by
-// f[bitA | bitB<<1] where bitA = (i>>sA)&1 and bitB = (i>>sB)&1. A
-// uniform table lookup (instead of per-kind branches) matters: a batch
-// interleaves many parity patterns through one loop body, which defeats
-// branch prediction if the factor choice branches.
+// f[bitA | bitB<<1] where bitA = (i>>sA)&1 and bitB = (i>>sB)&1.
 //
 //   - diagonal 1q matrix on q: sA = sB = q, f = {f0, f1, f0, f1}
 //   - CZ(a,b):                 f = {1, 1, 1, -1}
 //   - RZZ(a,b):                f = {f0, f1, f1, f0} (equal bits → f0)
 //
 // Each table is symmetric under swapping its two bits, so construction
-// orders sA ≤ sB; applyDiag exploits that to hoist the factor out of
+// orders sA ≤ sB; the executor exploits that to hoist the factor out of
 // runs of 2^sA consecutive indices.
 type diagTerm struct {
 	sA, sB int
@@ -77,12 +88,20 @@ type fuser struct {
 	// (value + valid flag, so latching a matrix never allocates).
 	pendM [][4]complex128
 	pendV []bool
+	// pendDiagK tracks whether the pending run is diagonal by gate kind
+	// (Z/S/T/RZ/I chains). Numerically it implies isDiagonal of the
+	// folded matrix; the recording mode (plan.go) uses it because kind
+	// is binding-independent where the numeric test is not.
+	pendDiagK []bool
 	// batch indexes the open diagonal batch in ops, -1 when none.
 	batch int
 	// batchQ marks qubits the open batch acts on; batchBlocked marks
 	// qubits touched by operations emitted after the batch. A new term
 	// on a blocked qubit cannot execute at the batch's position.
 	batchQ, batchBlocked uint32
+	// rec, when non-nil, records binding provenance for every emitted op
+	// (plan compilation); nil for plain bound-circuit fusion.
+	rec *planRecorder
 }
 
 // reset prepares the fuser for a circuit over nq qubits, keeping storage.
@@ -91,14 +110,17 @@ func (f *fuser) reset(nq int) {
 	if cap(f.pendM) < nq {
 		f.pendM = make([][4]complex128, nq)
 		f.pendV = make([]bool, nq)
+		f.pendDiagK = make([]bool, nq)
 	}
 	f.pendM = f.pendM[:nq]
 	f.pendV = f.pendV[:nq]
+	f.pendDiagK = f.pendDiagK[:nq]
 	for i := range f.pendV {
 		f.pendV[i] = false
 	}
 	f.batch = -1
 	f.batchQ, f.batchBlocked = 0, 0
+	f.rec = nil
 }
 
 // appendOp appends a term-free op (op1Q, opCX, or a placeholder),
@@ -131,13 +153,31 @@ func matMul(a, b [4]complex128) [4]complex128 {
 func isDiagonal(m [4]complex128) bool { return m[1] == 0 && m[2] == 0 }
 
 // merge1Q folds a single-qubit matrix into the qubit's pending run.
-func (f *fuser) merge1Q(q int, m [4]complex128) {
+// diagK reports whether the gate's kind guarantees a diagonal matrix;
+// the flag survives only if every gate in the run has it.
+func (f *fuser) merge1Q(q int, m [4]complex128, diagK bool) {
 	if f.pendV[q] {
 		f.pendM[q] = matMul(m, f.pendM[q])
+		f.pendDiagK[q] = f.pendDiagK[q] && diagK
 		return
 	}
 	f.pendM[q] = m
 	f.pendV[q] = true
+	f.pendDiagK[q] = diagK
+}
+
+// pendIsDiag decides whether qubit q's pending run takes the diagonal
+// path. Plain fusion uses the numeric test (catches e.g. RY(θ) folds
+// that happen to cancel); recording mode uses the kind-based flag, which
+// is binding-independent — a plan's op structure must not change when
+// the same plan executes under different parameter values (DESIGN.md
+// §11.4). Kind-diagonality implies numeric diagonality, so the recorded
+// structure is valid for every binding.
+func (f *fuser) pendIsDiag(q int) bool {
+	if f.rec != nil {
+		return f.pendDiagK[q]
+	}
+	return isDiagonal(f.pendM[q])
 }
 
 // flush emits qubit q's pending matrix, if any. Placement rules, each
@@ -158,14 +198,16 @@ func (f *fuser) flush(q int) {
 	p := f.pendM[q]
 	f.pendV[q] = false
 	bit := uint32(1) << q
-	if isDiagonal(p) {
+	if f.pendIsDiag(q) {
 		t := diagTerm{sA: q, sB: q, f: [4]complex128{p[0], p[3], p[0], p[3]}}
 		if f.batch >= 0 && f.batchBlocked&bit == 0 {
 			f.ops[f.batch].terms = append(f.ops[f.batch].terms, t)
 			f.batchQ |= bit
+			f.rec.noteDiagTerm(q, f.batch, len(f.ops[f.batch].terms)-1)
 			return
 		}
 		f.openBatch(t, bit)
+		f.rec.noteDiagTerm(q, f.batch, 0)
 		return
 	}
 	op := fusedOp{kind: op1Q, q: q, u: p}
@@ -174,12 +216,14 @@ func (f *fuser) flush(q int) {
 		copy(f.ops[f.batch+1:], f.ops[f.batch:])
 		f.ops[f.batch] = op
 		f.batch++
+		f.rec.note1QInserted(q, f.batch-1)
 		return
 	}
 	f.appendOp(op)
 	if f.batch >= 0 {
 		f.batchBlocked |= bit
 	}
+	f.rec.note1QAppended(q, len(f.ops)-1)
 }
 
 // openBatch appends a fresh diagonal batch holding t. When the ops
@@ -200,17 +244,19 @@ func (f *fuser) openBatch(t diagTerm, qbits uint32) {
 }
 
 // addDiag routes a two-qubit diagonal gate into the open batch when its
-// qubits are unblocked, else starts a new batch.
-func (f *fuser) addDiag(t diagTerm, a, b int) {
+// qubits are unblocked, else starts a new batch. It reports the (op,
+// term) slot the term landed in, for the recorder.
+func (f *fuser) addDiag(t diagTerm, a, b int) (opIdx, termIdx int) {
 	f.flush(a)
 	f.flush(b)
 	bits := uint32(1)<<a | uint32(1)<<b
 	if f.batch >= 0 && f.batchBlocked&bits == 0 {
 		f.ops[f.batch].terms = append(f.ops[f.batch].terms, t)
 		f.batchQ |= bits
-		return
+		return f.batch, len(f.ops[f.batch].terms) - 1
 	}
 	f.openBatch(t, bits)
+	return f.batch, 0
 }
 
 // fuse compiles a bound gate list into fused operations. Measure and
@@ -219,6 +265,15 @@ func (f *fuser) addDiag(t diagTerm, a, b int) {
 // one-shot fuse); the returned slice aliases its storage and is valid
 // until the next fuse through the same scratch.
 func fuse(gates []circuit.Gate, f *fuser) []fusedOp {
+	return fuseRec(gates, f, nil)
+}
+
+// fuseRec is fuse with an optional provenance recorder (plan
+// compilation). With rec non-nil, gates may carry unbound parameter
+// references; the emitted numeric matrices are placeholders that
+// Plan.refill recomputes per binding, while the op *structure* is exact
+// for every binding (kind-based diagonality — see pendIsDiag).
+func fuseRec(gates []circuit.Gate, f *fuser, rec *planRecorder) []fusedOp {
 	maxQ := 0
 	for _, g := range gates {
 		if g.Qubit > maxQ {
@@ -232,22 +287,25 @@ func fuse(gates []circuit.Gate, f *fuser) []fusedOp {
 		f = &fuser{}
 	}
 	f.reset(maxQ + 1)
+	f.rec = rec
 	for _, g := range gates {
 		switch g.Kind {
 		case circuit.I, circuit.Measure:
 		case circuit.CZ:
 			lo, hi := minMax(g.Qubit, g.Qubit2)
-			f.addDiag(diagTerm{
+			opIdx, termIdx := f.addDiag(diagTerm{
 				sA: lo, sB: hi,
 				f: [4]complex128{1, 1, 1, -1},
 			}, g.Qubit, g.Qubit2)
+			f.rec.noteTwoQTerm(g, opIdx, termIdx)
 		case circuit.RZZ:
 			e0, e1 := expI(-g.Theta/2), expI(g.Theta/2)
 			lo, hi := minMax(g.Qubit, g.Qubit2)
-			f.addDiag(diagTerm{
+			opIdx, termIdx := f.addDiag(diagTerm{
 				sA: lo, sB: hi,
 				f: [4]complex128{e0, e1, e1, e0},
 			}, g.Qubit, g.Qubit2)
+			f.rec.noteTwoQTerm(g, opIdx, termIdx)
 		case circuit.CX:
 			f.flush(g.Qubit)
 			f.flush(g.Qubit2)
@@ -261,27 +319,25 @@ func fuse(gates []circuit.Gate, f *fuser) []fusedOp {
 				// Mirror Apply's behaviour for unknown kinds.
 				panicUnsupported(g)
 			}
-			f.merge1Q(g.Qubit, m)
+			f.rec.noteMerge(g, !f.pendV[g.Qubit])
+			f.merge1Q(g.Qubit, m, kindIsDiag(g.Kind))
 		}
 	}
 	for q := range f.pendV {
 		f.flush(q)
 	}
+	f.rec = nil
 	return f.ops
 }
 
-// applyFused executes a compiled program.
-func (s *State) applyFused(ops []fusedOp) {
-	for _, op := range ops {
-		switch op.kind {
-		case op1Q:
-			s.apply1Q(op.q, op.u[0], op.u[1], op.u[2], op.u[3])
-		case opCX:
-			s.applyCX(op.q, op.q2)
-		case opDiag:
-			s.applyDiag(op.terms)
-		}
+// kindIsDiag reports single-qubit kinds whose matrix is diagonal for
+// every angle.
+func kindIsDiag(k circuit.Kind) bool {
+	switch k {
+	case circuit.I, circuit.Z, circuit.S, circuit.T, circuit.RZ:
+		return true
 	}
+	return false
 }
 
 func minMax(a, b int) (int, int) {
@@ -291,37 +347,321 @@ func minMax(a, b int) (int, int) {
 	return a, b
 }
 
-// applyDiag multiplies every amplitude by the batch's phase factors.
-// Each term sweeps the chunk once, so the chunk stays cache-resident
-// across terms (one memory pass over the state instead of one per
-// gate), and the multiplies of different amplitudes overlap instead of
-// serializing on one amplitude's factor chain. Within a sweep the
-// factor is constant over runs of 2^sA consecutive indices (sA ≤ sB by
-// construction), so the inner loop is a constant complex multiply with
-// no per-index selection at all. Per amplitude the multiply sequence
-// still matches gate order exactly.
-func (s *State) applyDiag(terms []diagTerm) {
+// --- Tiled execution ----------------------------------------------------
+
+// opTileable reports whether an op's amplitude coupling is contained in
+// a tileAmps-aligned tile: a 1q op pairs i with i+2^q (needs 2^(q+1) ≤
+// tileAmps), a CX pairs i with i|2^target (needs 2^target < tileAmps),
+// and a diagonal sweep is elementwise (always tileable).
+func opTileable(op *fusedOp) bool {
+	switch op.kind {
+	case op1Q:
+		return 1<<(op.q+1) <= tileAmps
+	case opCX:
+		return 1<<op.q2 < tileAmps
+	default:
+		return true
+	}
+}
+
+// signTerm is a diagTerm whose four factors are all exactly ±1 (CZ and
+// Z-like chains). Bit p of lut is set when f[p] = −1, so the term's
+// whole effect is a conditional negation — no complex arithmetic at all.
+type signTerm struct {
+	sA, sB uint
+	lut    uint8
+}
+
+// phaseTerm is a general diagTerm with the complex factors pre-split
+// into float components for the SoA kernels.
+type phaseTerm struct {
+	sA, sB uint
+	fr, fi [4]float64
+}
+
+// diagPrep indexes one opDiag's classified terms inside execScratch's
+// flat arrays.
+type diagPrep struct {
+	signOff, signLen   int
+	phaseOff, phaseLen int
+}
+
+// execScratch is the tiled executor's reusable working memory: the
+// classified diagonal terms of the current op group. It never escapes
+// the State.
+type execScratch struct {
+	preps  []diagPrep
+	signs  []signTerm
+	phases []phaseTerm
+}
+
+// termIsSign classifies a diagonal factor table: a term is a pure sign
+// term only when every factor is bit-for-bit ±1. Exact comparison is
+// required — a factor merely close to ±1 must take the phase path or the
+// sweep's numerics would change.
+//
+//lint:ignore floatcompare exact ±1 check selects the parity kernel; a tolerance would change numerics (DESIGN.md §11.2)
+func termIsSign(f *[4]complex128) (lut uint8, ok bool) {
+	for p := 0; p < 4; p++ {
+		//lint:ignore floatcompare exact ±1 check selects the parity kernel; a tolerance would change numerics (DESIGN.md §11.2)
+		if imag(f[p]) != 0 {
+			return 0, false
+		}
+		switch real(f[p]) {
+		case 1:
+		case -1:
+			lut |= 1 << p
+		default:
+			return 0, false
+		}
+	}
+	return lut, true
+}
+
+// prepare classifies every opDiag in the group into sign and phase
+// terms, preserving relative phase-term order. Reordering the exact ±1
+// sign factors after the phase factors is safe: multiplication by ±1 is
+// exact, so it commutes bit-for-bit with the other multiplies (up to the
+// sign of zeros, which no probability or expectation observes —
+// DESIGN.md §11.2).
+func (x *execScratch) prepare(ops []fusedOp) []diagPrep {
+	if cap(x.preps) < len(ops) {
+		x.preps = make([]diagPrep, len(ops))
+	}
+	x.preps = x.preps[:len(ops)]
+	x.signs = x.signs[:0]
+	x.phases = x.phases[:0]
+	for k := range ops {
+		if ops[k].kind != opDiag {
+			x.preps[k] = diagPrep{}
+			continue
+		}
+		p := diagPrep{signOff: len(x.signs), phaseOff: len(x.phases)}
+		for ti := range ops[k].terms {
+			t := &ops[k].terms[ti]
+			if lut, ok := termIsSign(&t.f); ok {
+				x.signs = append(x.signs, signTerm{sA: uint(t.sA), sB: uint(t.sB), lut: lut})
+				continue
+			}
+			pt := phaseTerm{sA: uint(t.sA), sB: uint(t.sB)}
+			for p := 0; p < 4; p++ {
+				pt.fr[p] = real(t.f[p])
+				pt.fi[p] = imag(t.f[p])
+			}
+			x.phases = append(x.phases, pt)
+		}
+		p.signLen = len(x.signs) - p.signOff
+		p.phaseLen = len(x.phases) - p.phaseOff
+		x.preps[k] = p
+	}
+	return x.preps
+}
+
+// applyFused executes a compiled program. Consecutive tileable ops run
+// as one cache-blocked group; ops whose coupling exceeds a tile (high-
+// qubit 1q/CX on large registers) run as full-array sweeps between
+// groups. Grouping never reorders ops, so results are identical to
+// op-at-a-time execution.
+func (s *State) applyFused(ops []fusedOp) {
+	i := 0
+	for i < len(ops) {
+		j := i
+		for j < len(ops) && opTileable(&ops[j]) {
+			j++
+		}
+		if j > i {
+			s.applyTiled(ops[i:j])
+			i = j
+			continue
+		}
+		op := &ops[i]
+		switch op.kind {
+		case op1Q:
+			s.apply1Q(op.q, op.u[0], op.u[1], op.u[2], op.u[3])
+		case opCX:
+			s.applyCX(op.q, op.q2)
+		}
+		i++
+	}
+}
+
+// applyTiled executes a group of tileable ops tile by tile: each
+// tileAmps-aligned tile has every op of the group applied to it before
+// the sweep moves on, so the tile's SoA arrays stay cache-resident
+// across the whole group. par chunks are multiples of tileAmps, so tile
+// boundaries — like everything else in execution — are independent of
+// worker count.
+func (s *State) applyTiled(ops []fusedOp) {
 	s.invalidate()
-	amp := s.amp
-	par.For(len(amp), func(lo, hi int) {
-		for ti := range terms {
-			t := &terms[ti]
-			f := t.f
-			sA, sB := uint(t.sA), uint(t.sB)
-			step := 1 << sA
-			// Chunk bounds are multiples of the chunk size (or the
-			// array ends), so base is always run-aligned: either
-			// step divides lo, or the whole chunk sits inside one run.
-			for base := lo; base < hi; base += step {
-				c := f[((base>>sA)&1)|(((base>>sB)&1)<<1)]
-				end := base + step
-				if end > hi {
-					end = hi
-				}
-				for i := base; i < end; i++ {
-					amp[i] *= c
+	preps := s.execScratch.prepare(ops)
+	signs, phases := s.execScratch.signs, s.execScratch.phases
+	re, im := s.re, s.im
+	par.For(len(re), func(lo, hi int) {
+		for base := lo; base < hi; base += tileAmps {
+			end := base + tileAmps
+			if end > hi {
+				end = hi
+			}
+			for k := range ops {
+				op := &ops[k]
+				switch op.kind {
+				case op1Q:
+					stride := 1 << op.q
+					// base is 2·stride-aligned, so the tile's pairs are
+					// exactly pair indices [base/2, end/2).
+					if matIsReal(&op.u) {
+						r := [4]float64{real(op.u[0]), real(op.u[1]), real(op.u[2]), real(op.u[3])}
+						apply1QRealPairs(re, im, stride, r, base>>1, end>>1)
+					} else {
+						apply1QCmplxPairs(re, im, stride, &op.u, base>>1, end>>1)
+					}
+				case opCX:
+					applyCXRange(re, im, 1<<op.q, 1<<op.q2, base, end)
+				case opDiag:
+					p := preps[k]
+					applyPhaseTermsRange(re, im, phases[p.phaseOff:p.phaseOff+p.phaseLen], base, end)
+					applySignTermsRange(re, im, signs[p.signOff:p.signOff+p.signLen], base, end)
 				}
 			}
 		}
 	})
+}
+
+// applyPhaseTermsRange multiplies amplitudes [lo, hi) by each phase
+// term's factors. The factor is constant over runs of 2^sA consecutive
+// indices (sA ≤ sB by construction, and lo is run-aligned or the range
+// sits inside one run), so each run dispatches once: exact-1 factors
+// skip the run, exactly-real factors take the two-multiply scale, and
+// the rest the full complex multiply. The specializations change only
+// the sign of zeros relative to always-complex multiplication
+// (DESIGN.md §11.2).
+func applyPhaseTermsRange(re, im []float64, terms []phaseTerm, lo, hi int) {
+	for ti := range terms {
+		t := &terms[ti]
+		sA, sB := t.sA, t.sB
+		step := 1 << sA
+		for base := lo; base < hi; base += step {
+			p := ((base >> sA) & 1) | (((base >> sB) & 1) << 1)
+			cr, ci := t.fr[p], t.fi[p]
+			end := base + step
+			if end > hi {
+				end = hi
+			}
+			//lint:ignore floatcompare exact 1/0 factor tests select skip/real-scale fast paths; a tolerance would change numerics (DESIGN.md §11.2)
+			if ci == 0 {
+				//lint:ignore floatcompare exact 1 factor test selects the skip fast path; a tolerance would change numerics (DESIGN.md §11.2)
+				if cr == 1 {
+					continue
+				}
+				for i := base; i < end; i++ {
+					re[i] *= cr
+					im[i] *= cr
+				}
+				continue
+			}
+			for i := base; i < end; i++ {
+				r, m := re[i], im[i]
+				re[i] = r*cr - m*ci
+				im[i] = r*ci + m*cr
+			}
+		}
+	}
+}
+
+// applySignTermsRange applies pure ±1 terms over [lo, hi): each negative
+// lut pattern is visited directly by nested stride loops, so a CZ
+// negates exactly a quarter of the amplitudes with no per-run factor
+// lookup and no complex arithmetic. lo must be aligned to
+// min(2^(sB+1), hi−lo) and hi−lo must be a power of two or end the
+// array; tile and chunk bounds guarantee both.
+func applySignTermsRange(re, im []float64, terms []signTerm, lo, hi int) {
+	for ti := range terms {
+		t := &terms[ti]
+		sA, sB := t.sA, t.sB
+		lut := t.lut
+		if lut == 0 {
+			// No negative patterns — an all-ones factor table (e.g. a
+			// plan's RZZ rebound to θ=0) is a no-op.
+			continue
+		}
+		if sA == sB {
+			// Single-bit term: only patterns 0 (bit clear) and 3 (set)
+			// occur.
+			negateBit(re, im, sA, lut&1 != 0, lut>>3&1 != 0, lo, hi)
+			continue
+		}
+		stepB := 1 << sB
+		if stepB >= hi-lo {
+			// Bit sB is constant across the range; select its half of
+			// the lut and fall back to the single-bit sweep on sA.
+			l := (lut >> (2 * uint((lo>>sB)&1))) & 3
+			negateBit(re, im, sA, l&1 != 0, l>>1&1 != 0, lo, hi)
+			continue
+		}
+		stepA := 1 << sA
+		if sB == sA+1 && lut&(lut-1) == 0 {
+			// Adjacent bits, single negative pattern — the CZ brick
+			// case: the inner stride loop has exactly one run per outer
+			// block, so flatten to one loop.
+			p := uint8(0)
+			for lut>>p&1 == 0 {
+				p++
+			}
+			off := int(p&1)<<sA | int(p>>1)<<sB
+			for b := lo + off; b < hi; b += stepB << 1 {
+				for i := b; i < b+stepA; i++ {
+					re[i] = -re[i]
+					im[i] = -im[i]
+				}
+			}
+			continue
+		}
+		for p := uint8(0); p < 4; p++ {
+			if lut>>p&1 == 0 {
+				continue
+			}
+			offA := int(p&1) << sA
+			offB := int(p>>1) << sB
+			for bB := lo + offB; bB < hi; bB += stepB << 1 {
+				for b := bB + offA; b < bB+stepB; b += stepA << 1 {
+					for i := b; i < b+stepA; i++ {
+						re[i] = -re[i]
+						im[i] = -im[i]
+					}
+				}
+			}
+		}
+	}
+}
+
+// negateBit negates the [lo, hi) amplitudes whose bit sA is clear
+// (neg0) and/or set (neg1). lo must be aligned to min(2^(sA+1), hi−lo).
+func negateBit(re, im []float64, sA uint, neg0, neg1 bool, lo, hi int) {
+	step := 1 << sA
+	if step >= hi-lo {
+		set := (lo>>sA)&1 != 0
+		if (set && neg1) || (!set && neg0) {
+			for i := lo; i < hi; i++ {
+				re[i] = -re[i]
+				im[i] = -im[i]
+			}
+		}
+		return
+	}
+	if neg0 {
+		for b := lo; b < hi; b += step << 1 {
+			for i := b; i < b+step; i++ {
+				re[i] = -re[i]
+				im[i] = -im[i]
+			}
+		}
+	}
+	if neg1 {
+		for b := lo + step; b < hi; b += step << 1 {
+			for i := b; i < b+step; i++ {
+				re[i] = -re[i]
+				im[i] = -im[i]
+			}
+		}
+	}
 }

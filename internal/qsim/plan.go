@@ -1,0 +1,268 @@
+package qsim
+
+import (
+	"fmt"
+
+	"qtenon/internal/circuit"
+)
+
+// A Plan is a parameterized circuit compiled once into the fused-op
+// structure, reusable across bindings: Execute refills the angle-
+// dependent matrices and phase factors in place and runs the compiled
+// program against a recycled statevector. Batched parameter-shift
+// evaluation (internal/opt, internal/vqa) executes all 2·P shifted
+// bindings of one circuit through a single Plan, paying fusion and plan
+// allocation once per batch instead of once per evaluation.
+//
+// The op structure is binding-independent by construction: compilation
+// classifies single-qubit runs as diagonal by gate kind (Z/S/T/RZ/I),
+// never by the numeric matrix, so a run that merely evaluates to a
+// diagonal matrix at one binding (e.g. RY(0)) still compiles as a
+// general 2×2 op valid for every binding (DESIGN.md §11.4). Execute's
+// numerics therefore match RunReuse on the bound circuit to fusion
+// tolerance (~1e-12), and bit-for-bit except at such degenerate
+// bindings, where only the (mathematically equivalent) kernel routing
+// differs.
+//
+// A Plan is immutable after compilation except for the refilled numeric
+// fields, so a single Plan must not Execute concurrently with itself;
+// clone plans per goroutine if needed.
+type Plan struct {
+	nq      int
+	nparams int
+	ops     []fusedOp
+	refs    []recOp
+	gates   []gateRef
+}
+
+// gateRef is one source gate of a fused op: the kind plus either a fixed
+// angle or a parameter index.
+type gateRef struct {
+	kind  circuit.Kind
+	theta float64 // fixed angle when param == circuit.NoParam
+	param int
+}
+
+func (r gateRef) angle(params []float64) float64 {
+	if r.param != circuit.NoParam {
+		return params[r.param]
+	}
+	return r.theta
+}
+
+// recTerm is the provenance of one diagonal term: a two-qubit diagonal
+// gate (CZ/RZZ), or a folded single-qubit diagonal chain referencing
+// [gOff, gOff+gLen) of the plan's gates array.
+type recTerm struct {
+	twoQ       bool
+	kind       circuit.Kind // CZ or RZZ when twoQ
+	src        gateRef      // angle source when twoQ
+	gOff, gLen int
+}
+
+// recOp is the provenance of one fused op, parallel to Plan.ops. op1Q
+// folds gates [gOff, gOff+gLen) in program order; opDiag owns terms;
+// opCX needs nothing.
+type recOp struct {
+	gOff, gLen int
+	terms      []recTerm
+}
+
+// planRecorder captures provenance during a recording fuse. It mirrors
+// every structural mutation the fuser makes to its ops array.
+type planRecorder struct {
+	ops []recOp
+	// pend collects the source gates of each qubit's pending 1q run.
+	pend  [][]gateRef
+	gates []gateRef // flat storage pending runs are flushed into
+}
+
+func newPlanRecorder(nq int) *planRecorder {
+	return &planRecorder{pend: make([][]gateRef, nq)}
+}
+
+// grow pads the recorder's op array with empty entries up to n ops.
+func (r *planRecorder) grow(n int) {
+	for len(r.ops) < n {
+		r.ops = append(r.ops, recOp{})
+	}
+}
+
+// noteMerge records a single-qubit gate joining qubit q's pending run.
+// fresh marks the start of a new run (the previous one was flushed).
+func (r *planRecorder) noteMerge(g circuit.Gate, fresh bool) {
+	if r == nil {
+		return
+	}
+	q := g.Qubit
+	if fresh {
+		r.pend[q] = r.pend[q][:0]
+	}
+	r.pend[q] = append(r.pend[q], gateRef{kind: g.Kind, theta: g.Theta, param: g.Param})
+}
+
+// take moves qubit q's pending run into the flat gates array and returns
+// its span.
+func (r *planRecorder) take(q int) (off, n int) {
+	off = len(r.gates)
+	r.gates = append(r.gates, r.pend[q]...)
+	r.pend[q] = r.pend[q][:0]
+	return off, len(r.gates) - off
+}
+
+// note1QAppended records qubit q's pending run emitted as ops[idx].
+func (r *planRecorder) note1QAppended(q, idx int) {
+	if r == nil {
+		return
+	}
+	r.grow(idx + 1)
+	r.ops[idx].gOff, r.ops[idx].gLen = r.take(q)
+}
+
+// note1QInserted records qubit q's pending run inserted at ops[idx]
+// (everything from idx on shifted right by one).
+func (r *planRecorder) note1QInserted(q, idx int) {
+	if r == nil {
+		return
+	}
+	r.grow(idx) // ensure the insertion point exists
+	r.ops = append(r.ops, recOp{})
+	copy(r.ops[idx+1:], r.ops[idx:])
+	gOff, gLen := r.take(q)
+	r.ops[idx] = recOp{gOff: gOff, gLen: gLen}
+}
+
+// noteDiagTerm records qubit q's pending diagonal run landing as term
+// termIdx of ops[opIdx].
+func (r *planRecorder) noteDiagTerm(q, opIdx, termIdx int) {
+	if r == nil {
+		return
+	}
+	r.grow(opIdx + 1)
+	gOff, gLen := r.take(q)
+	r.setTerm(opIdx, termIdx, recTerm{gOff: gOff, gLen: gLen})
+}
+
+// noteTwoQTerm records a CZ/RZZ landing as term termIdx of ops[opIdx].
+func (r *planRecorder) noteTwoQTerm(g circuit.Gate, opIdx, termIdx int) {
+	if r == nil {
+		return
+	}
+	r.grow(opIdx + 1)
+	r.setTerm(opIdx, termIdx, recTerm{
+		twoQ: true,
+		kind: g.Kind,
+		src:  gateRef{kind: g.Kind, theta: g.Theta, param: g.Param},
+	})
+}
+
+func (r *planRecorder) setTerm(opIdx, termIdx int, t recTerm) {
+	terms := r.ops[opIdx].terms
+	for len(terms) <= termIdx {
+		terms = append(terms, recTerm{})
+	}
+	terms[termIdx] = t
+	r.ops[opIdx].terms = terms
+}
+
+// CompilePlan compiles a (possibly parameterized) circuit into a
+// reusable Plan. Fully bound circuits compile too — the plan simply has
+// no parameter slots.
+func CompilePlan(c *circuit.Circuit) (*Plan, error) {
+	if c.NQubits > MaxQubits {
+		return nil, fmt.Errorf("qsim: %d qubits exceeds exact-simulation limit %d", c.NQubits, MaxQubits)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rec := newPlanRecorder(c.NQubits)
+	f := &fuser{}
+	ops := fuseRec(c.Gates, f, rec)
+	rec.grow(len(ops))
+	p := &Plan{
+		nq:      c.NQubits,
+		nparams: c.NumParams,
+		ops:     append([]fusedOp(nil), ops...),
+		refs:    rec.ops,
+		gates:   rec.gates,
+	}
+	// The ops copied out of the fuser alias its term storage; deep-copy
+	// terms so the plan owns its numeric fields outright.
+	for i := range p.ops {
+		p.ops[i].terms = append([]diagTerm(nil), p.ops[i].terms...)
+	}
+	return p, nil
+}
+
+// NumParams reports the plan's parameter count.
+func (p *Plan) NumParams() int { return p.nparams }
+
+// NQubits reports the register width.
+func (p *Plan) NQubits() int { return p.nq }
+
+// foldGates recomputes a fused 2×2 matrix from its source gates in the
+// exact fold order merge1Q uses (acc = m_i · acc in program order), so a
+// refilled matrix is bit-identical to fusing the bound circuit.
+func (p *Plan) foldGates(off, n int, params []float64) [4]complex128 {
+	g := p.gates[off]
+	acc, ok := gateMatrix1QTheta(g.kind, g.angle(params))
+	if !ok {
+		panic(fmt.Sprintf("qsim: plan references non-1q kind %v", g.kind))
+	}
+	for _, g := range p.gates[off+1 : off+n] {
+		m, ok := gateMatrix1QTheta(g.kind, g.angle(params))
+		if !ok {
+			panic(fmt.Sprintf("qsim: plan references non-1q kind %v", g.kind))
+		}
+		acc = matMul(m, acc)
+	}
+	return acc
+}
+
+// refill rebinds every angle-dependent matrix and phase factor in place.
+func (p *Plan) refill(params []float64) {
+	for i := range p.ops {
+		op := &p.ops[i]
+		ref := &p.refs[i]
+		switch op.kind {
+		case op1Q:
+			op.u = p.foldGates(ref.gOff, ref.gLen, params)
+		case opDiag:
+			for ti := range op.terms {
+				t := &ref.terms[ti]
+				if t.twoQ {
+					switch t.kind {
+					case circuit.CZ:
+						// Constant {1,1,1,-1}; set at compile time.
+					case circuit.RZZ:
+						theta := t.src.angle(params)
+						e0, e1 := expI(-theta/2), expI(theta/2)
+						op.terms[ti].f = [4]complex128{e0, e1, e1, e0}
+					}
+					continue
+				}
+				m := p.foldGates(t.gOff, t.gLen, params)
+				op.terms[ti].f = [4]complex128{m[0], m[3], m[0], m[3]}
+			}
+		}
+	}
+}
+
+// Execute binds params into the plan and runs it from |0…0⟩, reusing
+// st's storage when it matches the register width (st may be nil). The
+// returned state is numerically identical (to fusion tolerance) to
+// RunReuse on the bound circuit. The caller owns st exclusively; its
+// previous contents are destroyed.
+func (p *Plan) Execute(st *State, params []float64) (*State, error) {
+	if len(params) != p.nparams {
+		return nil, fmt.Errorf("qsim: plan executed with %d params, want %d", len(params), p.nparams)
+	}
+	if st == nil || st.n != p.nq {
+		st = NewState(p.nq)
+	} else {
+		st.Reset()
+	}
+	p.refill(params)
+	st.applyFused(p.ops)
+	return st, nil
+}

@@ -1,0 +1,165 @@
+package qsim
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qtenon/internal/circuit"
+)
+
+// planCircuit builds a parameterized ansatz exercising every op shape a
+// plan can hold: general 1q chains, diagonal runs, CZ/CX bricks, and
+// parameterized RZZ terms.
+func planCircuit(n int) *circuit.Circuit {
+	b := circuit.NewBuilder(n)
+	p := 0
+	for q := 0; q < n; q++ {
+		b.H(q)
+		b.RYP(q, p)
+		p++
+	}
+	for q := 0; q < n-1; q++ {
+		b.CZ(q, q+1)
+		b.RZZP(q, q+1, p)
+		p++
+	}
+	for q := 0; q < n; q++ {
+		b.RZP(q, p)
+		b.T(q)
+		p++
+	}
+	for q := 0; q < n-1; q += 2 {
+		b.CX(q, q+1)
+	}
+	for q := 0; q < n; q++ {
+		b.RXP(q, p)
+		p++
+	}
+	return b.MustBuild()
+}
+
+// A compiled plan executed at a binding must match compiling-and-running
+// the bound circuit from scratch. The plan's op structure is
+// binding-independent (kind-based diagonality, DESIGN.md §11.4), so a
+// degenerate binding like RY(0) can route through a general kernel where
+// per-binding fusion would specialize — values agree to fusion tolerance.
+func TestPlanMatchesRunAcrossBindings(t *testing.T) {
+	for _, n := range []int{2, 5, 8} {
+		c := planCircuit(n)
+		plan, err := CompilePlan(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NumParams() != c.NumParams || plan.NQubits() != n {
+			t.Fatalf("plan shape (%d params, %d qubits), want (%d, %d)",
+				plan.NumParams(), plan.NQubits(), c.NumParams, n)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		var st *State
+		for trial := 0; trial < 5; trial++ {
+			params := make([]float64, c.NumParams)
+			for i := range params {
+				params[i] = rng.NormFloat64()
+			}
+			if trial == 4 {
+				// Degenerate binding: all-zero angles stress the
+				// kind-vs-numeric diagonality divergence hardest.
+				for i := range params {
+					params[i] = 0
+				}
+			}
+			st, err = plan.Execute(st, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(c.Bind(params))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ref := st.Amplitudes(), want.Amplitudes()
+			for i := range ref {
+				if cmplx.Abs(got[i]-ref[i]) > 1e-12 {
+					t.Fatalf("n=%d trial %d: amp[%d] = %v, want %v", n, trial, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// Execute must reuse the caller's statevector arena: after the first
+// call, no new State is allocated.
+func TestPlanExecuteReusesArena(t *testing.T) {
+	c := planCircuit(6)
+	plan, err := CompilePlan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, c.NumParams)
+	for i := range params {
+		params[i] = 0.1 * float64(i+1)
+	}
+	st, err := plan.Execute(nil, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := plan.Execute(st, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != st {
+		t.Fatal("Execute allocated a fresh State instead of reusing the arena")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := plan.Execute(st, params); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A handful of parallel-dispatch closures are expected; the 2^n-sized
+	// buffers (statevector, scratch, plan terms) must not reallocate.
+	if allocs > 4 {
+		t.Errorf("Execute allocated %.1f objects per call after warm-up, want ≤4", allocs)
+	}
+}
+
+// Plans reject inputs Run would reject: wrong binding width, invalid
+// circuits.
+func TestPlanValidation(t *testing.T) {
+	c := planCircuit(3)
+	plan, err := CompilePlan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Execute(nil, make([]float64, c.NumParams+1)); err == nil {
+		t.Error("Execute accepted a binding of the wrong width")
+	}
+	bad := &circuit.Circuit{NQubits: 2, Gates: []circuit.Gate{{Kind: circuit.RX, Qubit: 5, Param: circuit.NoParam}}}
+	if _, err := CompilePlan(bad); err == nil {
+		t.Error("CompilePlan accepted an invalid circuit")
+	}
+}
+
+// A fully bound circuit (no free parameters) compiles and executes with
+// an empty binding — the plan is then just a reusable fused program.
+func TestPlanOnBoundCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := randomCircuit(rng, 7, 30)
+	plan, err := CompilePlan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := plan.Execute(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ref := st.Amplitudes(), want.Amplitudes()
+	for i := range ref {
+		if cmplx.Abs(got[i]-ref[i]) > 1e-12 {
+			t.Fatalf("amp[%d] = %v, want %v", i, got[i], ref[i])
+		}
+	}
+}

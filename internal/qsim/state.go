@@ -4,16 +4,26 @@
 // (§7.1): it executes bound circuits exactly and samples measurement
 // outcomes.
 //
-// The state of n qubits is a dense vector of 2^n complex128 amplitudes.
-// Qubit 0 is the least-significant bit of the basis-state index (the same
+// The state of n qubits is a dense vector of 2^n amplitudes. Qubit 0 is
+// the least-significant bit of the basis-state index (the same
 // convention OpenQASM uses for its classical registers). Exact simulation
 // is practical to roughly 20 qubits; larger experiments use the surrogate
 // sampler in internal/quantum, which this package also underpins at small
 // scale for cross-validation.
 //
+// # Memory layout
+//
+// Amplitudes are stored structure-of-arrays: separate re/im []float64
+// slices rather than one []complex128 (DESIGN.md §11). The gate kernels
+// are plain float loops over the two arrays, which keeps them branch-free,
+// lets matrices with exactly-zero imaginary parts take halved-flop real
+// kernels, and reduces ±1 phase batches to integer parity sweeps. The
+// complex128 view is still available through Amplitudes(), which
+// materializes (and caches) a conversion snapshot.
+//
 // # Parallel execution
 //
-// Gate kernels, reductions and sampling partition the amplitude array
+// Gate kernels, reductions and sampling partition the amplitude arrays
 // across the internal/par worker pool; statevectors below par's serial
 // threshold (2^14 amplitudes) run inline with no synchronization.
 // Reductions use fixed chunking, and sampling uses fixed-size shot
@@ -44,10 +54,16 @@ import (
 // practical ceiling for tests on a development machine.
 const MaxQubits = 24
 
-// State is a normalized statevector over n qubits.
+// State is a normalized statevector over n qubits, stored as separate
+// real and imaginary float64 arrays (structure-of-arrays).
 type State struct {
-	n   int
-	amp []complex128
+	n      int
+	re, im []float64
+	// view is the cached complex128 conversion snapshot Amplitudes()
+	// hands out; any mutating operation invalidates it alongside the
+	// sampler. It never feeds back into the kernels.
+	view      []complex128
+	viewValid bool
 	// sampler caches the alias-method table for Sample; any mutating
 	// operation invalidates it, so repeated sampling of an unchanged
 	// state pays the O(2^n) build exactly once.
@@ -58,14 +74,15 @@ type State struct {
 	// reuse its prob/alias storage.
 	samplerShared bool
 	spareTable    *aliasTable
-	// probScratch, buildScratch, seedScratch and fuseScratch are reusable
-	// working memory for the sampler and fusion paths. They never escape
-	// the State and are excluded from Clone, so reuse is safe even when
-	// clones share a cached sampler.
+	// probScratch, buildScratch, seedScratch, fuseScratch and execScratch
+	// are reusable working memory for the sampler, fusion and tiled-
+	// execution paths. They never escape the State and are excluded from
+	// Clone, so reuse is safe even when clones share a cached sampler.
 	probScratch  []float64
 	buildScratch aliasBuildScratch
 	seedScratch  []int64
 	fuseScratch  fuser
+	execScratch  execScratch
 }
 
 // NewState returns |0...0⟩ over n qubits.
@@ -73,66 +90,95 @@ func NewState(n int) *State {
 	if n <= 0 || n > MaxQubits {
 		panic(fmt.Sprintf("qsim: qubit count %d outside (0,%d]", n, MaxQubits))
 	}
-	s := &State{n: n, amp: make([]complex128, 1<<n)}
-	s.amp[0] = 1
+	s := &State{n: n, re: make([]float64, 1<<n), im: make([]float64, 1<<n)}
+	s.re[0] = 1
 	return s
 }
 
 // NQubits reports the register width.
 func (s *State) NQubits() int { return s.n }
 
-// Amplitudes returns the underlying amplitude slice. Callers must not
-// modify it; it is exposed for tests and expectation computations.
-func (s *State) Amplitudes() []complex128 { return s.amp }
+// Amplitudes returns the amplitudes as one complex128 slice — a cached
+// conversion view over the structure-of-arrays storage. Callers must not
+// modify it; it is exposed for tests and expectation computations, and is
+// valid until the next mutating operation. Hot paths should prefer ReIm,
+// which is allocation- and conversion-free.
+func (s *State) Amplitudes() []complex128 {
+	if !s.viewValid {
+		if cap(s.view) < len(s.re) {
+			s.view = make([]complex128, len(s.re))
+		}
+		s.view = s.view[:len(s.re)]
+		re, im, view := s.re, s.im, s.view
+		par.For(len(re), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				view[i] = complex(re[i], im[i])
+			}
+		})
+		s.viewValid = true
+	}
+	return s.view
+}
+
+// ReIm exposes the structure-of-arrays amplitude storage: re[i] + i·im[i]
+// is the amplitude of basis state i. Callers must not modify the slices;
+// they alias the live state and are the zero-cost read path expectation
+// computations use.
+func (s *State) ReIm() (re, im []float64) { return s.re, s.im }
 
 // Clone returns an independent copy. The cached sampler, if any, is
 // shared: alias tables are immutable once built, and each copy
 // invalidates only its own reference on mutation.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amp: make([]complex128, len(s.amp)), sampler: s.sampler}
+	c := &State{n: s.n, re: make([]float64, len(s.re)), im: make([]float64, len(s.im)), sampler: s.sampler}
 	if s.sampler != nil {
 		// Both sides now reference the table; neither may recycle it.
 		s.samplerShared = true
 		c.samplerShared = true
 	}
-	copy(c.amp, s.amp)
+	copy(c.re, s.re)
+	copy(c.im, s.im)
 	return c
 }
 
-// invalidate drops the cached sampler; every mutating kernel calls it.
-// An unshared table retires into spareTable so the next rebuild reuses
-// its storage instead of allocating 2^n table entries.
+// invalidate drops the cached sampler and conversion view; every mutating
+// kernel calls it. An unshared table retires into spareTable so the next
+// rebuild reuses its storage instead of allocating 2^n table entries.
 func (s *State) invalidate() {
 	if s.sampler != nil && !s.samplerShared {
 		s.spareTable = s.sampler
 	}
 	s.sampler = nil
+	s.viewValid = false
 }
 
 // Reset returns the state to |0…0⟩ in place, keeping the amplitude
 // storage. A Reset state is indistinguishable from a fresh NewState of
 // the same width — this is the arena primitive that lets one statevector
 // be reused across the optimizer's thousands of circuit executions
-// instead of allocating 2^n complex amplitudes per evaluation.
+// instead of allocating 2^n amplitudes per evaluation.
 func (s *State) Reset() {
 	s.invalidate()
-	amp := s.amp
-	par.For(len(amp), func(lo, hi int) {
-		a := amp[lo:hi]
-		for i := range a {
-			a[i] = 0
+	re, im := s.re, s.im
+	par.For(len(re), func(lo, hi int) {
+		r, m := re[lo:hi], im[lo:hi]
+		for i := range r {
+			r[i] = 0
+		}
+		for i := range m {
+			m[i] = 0
 		}
 	})
-	s.amp[0] = 1
+	s.re[0] = 1
 }
 
 // Norm returns the 2-norm of the state (1 for any valid state).
 func (s *State) Norm() float64 {
-	amp := s.amp
-	sum := par.SumFloat64(len(amp), func(lo, hi int) float64 {
+	re, im := s.re, s.im
+	sum := par.SumFloat64(len(re), func(lo, hi int) float64 {
 		var t float64
-		for _, a := range amp[lo:hi] {
-			t += real(a)*real(a) + imag(a)*imag(a)
+		for i := lo; i < hi; i++ {
+			t += re[i]*re[i] + im[i]*im[i]
 		}
 		return t
 	})
@@ -144,54 +190,140 @@ func (s *State) Fidelity(o *State) float64 {
 	if s.n != o.n {
 		panic("qsim: fidelity between different register sizes")
 	}
-	a, b := s.amp, o.amp
-	dot := par.SumComplex(len(a), func(lo, hi int) complex128 {
-		var t complex128
+	ar, ai, br, bi := s.re, s.im, o.re, o.im
+	dot := par.SumComplex(len(ar), func(lo, hi int) complex128 {
+		var tr, ti float64
 		for i := lo; i < hi; i++ {
-			t += cmplx.Conj(a[i]) * b[i]
+			tr += ar[i]*br[i] + ai[i]*bi[i]
+			ti += ar[i]*bi[i] + (-ai[i])*br[i]
 		}
-		return t
+		return complex(tr, ti)
 	})
 	return real(dot)*real(dot) + imag(dot)*imag(dot)
 }
 
+// matIsReal gates the halved-flop real-matrix kernels: only matrices
+// whose imaginary parts are bit-for-bit zero qualify (RY/H/X products and
+// friends). The exact ==0 test is intentional — a tolerance would change
+// numerics by routing nearly-real matrices through the real kernel.
+//
+//lint:ignore floatcompare exact zero check selects a kernel; a tolerance would change numerics (DESIGN.md §11.2)
+func matIsReal(u *[4]complex128) bool {
+	//lint:ignore floatcompare exact zero check selects a kernel; a tolerance would change numerics (DESIGN.md §11.2)
+	return imag(u[0]) == 0 && imag(u[1]) == 0 && imag(u[2]) == 0 && imag(u[3]) == 0
+}
+
 // apply1Q applies the 2×2 unitary {{u00,u01},{u10,u11}} to qubit q.
 // The pair index k enumerates the 2^(n-1) amplitude pairs; each pair is
-// touched by exactly one range, so partitioning is race-free. Within a
-// range the pair index is decoded once per contiguous run (a run ends at
-// a stride block or the range boundary, whichever is first), keeping the
-// inner loop as tight as the serial kernel.
+// touched by exactly one range, so partitioning is race-free. Matrices
+// with exactly-zero imaginary parts take the real kernel (half the
+// flops); the complex kernel reproduces complex128 arithmetic term for
+// term, so both match the historical kernel bit-for-bit up to the sign
+// of zeros.
 func (s *State) apply1Q(q int, u00, u01, u10, u11 complex128) {
 	s.invalidate()
-	amp := s.amp
+	re, im := s.re, s.im
 	stride := 1 << q
-	mask := stride - 1
-	par.For(len(amp)>>1, func(lo, hi int) {
-		for k := lo; k < hi; {
-			run := stride - k&mask
-			if run > hi-k {
-				run = hi - k
-			}
-			i := (k&^mask)<<1 | k&mask
-			for end := i + run; i < end; i++ {
-				a0, a1 := amp[i], amp[i+stride]
-				amp[i] = u00*a0 + u01*a1
-				amp[i+stride] = u10*a0 + u11*a1
-			}
-			k += run
-		}
+	u := [4]complex128{u00, u01, u10, u11}
+	if matIsReal(&u) {
+		r := [4]float64{real(u00), real(u01), real(u10), real(u11)}
+		par.For(len(re)>>1, func(lo, hi int) {
+			apply1QRealPairs(re, im, stride, r, lo, hi)
+		})
+		return
+	}
+	par.For(len(re)>>1, func(lo, hi int) {
+		apply1QCmplxPairs(re, im, stride, &u, lo, hi)
 	})
+}
+
+// apply1QRealPairs applies a real 2×2 matrix over the pair-index range
+// [lo, hi). Within a range the pair index is decoded once per contiguous
+// run (a run ends at a stride block or the range boundary, whichever is
+// first), keeping the inner loop a branch-free four-multiply float sweep.
+func apply1QRealPairs(re, im []float64, stride int, u [4]float64, lo, hi int) {
+	u00, u01, u10, u11 := u[0], u[1], u[2], u[3]
+	if stride == 1 {
+		// Pairs are adjacent: one contiguous window, two amplitudes per
+		// step, no run decode at all.
+		r := re[2*lo : 2*hi]
+		m := im[2*lo : 2*hi]
+		for x := 0; x+1 < len(r); x += 2 {
+			a0r, a0i := r[x], m[x]
+			a1r, a1i := r[x+1], m[x+1]
+			r[x] = u00*a0r + u01*a1r
+			m[x] = u00*a0i + u01*a1i
+			r[x+1] = u10*a0r + u11*a1r
+			m[x+1] = u10*a0i + u11*a1i
+		}
+		return
+	}
+	mask := stride - 1
+	for k := lo; k < hi; {
+		run := stride - k&mask
+		if run > hi-k {
+			run = hi - k
+		}
+		i := (k&^mask)<<1 | k&mask
+		// Equal-length windows over the run let the compiler drop the
+		// bounds checks from the inner loop.
+		r0 := re[i:][:run]
+		m0 := im[i:][:run]
+		r1 := re[i+stride:][:run]
+		m1 := im[i+stride:][:run]
+		for x := 0; x < run; x++ {
+			a0r, a0i := r0[x], m0[x]
+			a1r, a1i := r1[x], m1[x]
+			r0[x] = u00*a0r + u01*a1r
+			m0[x] = u00*a0i + u01*a1i
+			r1[x] = u10*a0r + u11*a1r
+			m1[x] = u10*a0i + u11*a1i
+		}
+		k += run
+	}
+}
+
+// apply1QCmplxPairs is the general complex kernel over the pair-index
+// range [lo, hi), written as explicit float arithmetic in exactly the
+// association order complex128 multiplication uses.
+func apply1QCmplxPairs(re, im []float64, stride int, u *[4]complex128, lo, hi int) {
+	u00r, u00i := real(u[0]), imag(u[0])
+	u01r, u01i := real(u[1]), imag(u[1])
+	u10r, u10i := real(u[2]), imag(u[2])
+	u11r, u11i := real(u[3]), imag(u[3])
+	mask := stride - 1
+	for k := lo; k < hi; {
+		run := stride - k&mask
+		if run > hi-k {
+			run = hi - k
+		}
+		i := (k&^mask)<<1 | k&mask
+		r0 := re[i:][:run]
+		m0 := im[i:][:run]
+		r1 := re[i+stride:][:run]
+		m1 := im[i+stride:][:run]
+		for x := 0; x < run; x++ {
+			a0r, a0i := r0[x], m0[x]
+			a1r, a1i := r1[x], m1[x]
+			r0[x] = (u00r*a0r - u00i*a0i) + (u01r*a1r - u01i*a1i)
+			m0[x] = (u00r*a0i + u00i*a0r) + (u01r*a1i + u01i*a1r)
+			r1[x] = (u10r*a0r - u10i*a0i) + (u11r*a1r - u11i*a1i)
+			m1[x] = (u10r*a0i + u10i*a0r) + (u11r*a1i + u11i*a1r)
+		}
+		k += run
+	}
 }
 
 // applyCZ applies a controlled-Z between qubits a and b.
 func (s *State) applyCZ(a, b int) {
 	s.invalidate()
-	amp := s.amp
+	re, im := s.re, s.im
 	m := 1<<a | 1<<b
-	par.For(len(amp), func(lo, hi int) {
+	par.For(len(re), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if i&m == m {
-				amp[i] = -amp[i]
+				re[i] = -re[i]
+				im[i] = -im[i]
 			}
 		}
 	})
@@ -202,31 +334,46 @@ func (s *State) applyCZ(a, b int) {
 // never write the same element.
 func (s *State) applyCX(control, target int) {
 	s.invalidate()
-	amp := s.amp
+	re, im := s.re, s.im
 	mc, mt := 1<<control, 1<<target
-	par.For(len(amp), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&mc != 0 && i&mt == 0 {
-				j := i | mt
-				amp[i], amp[j] = amp[j], amp[i]
-			}
-		}
+	par.For(len(re), func(lo, hi int) {
+		applyCXRange(re, im, mc, mt, lo, hi)
 	})
+}
+
+// applyCXRange swaps target pairs over the amplitude range [lo, hi). It
+// is safe for any range whose indices own their partners (the j = i|mt
+// partner of every i with control set, target clear lies in the same
+// aligned range whenever mt < hi-lo and lo is mt-aligned, and in the
+// full range always).
+func applyCXRange(re, im []float64, mc, mt, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if i&mc != 0 && i&mt == 0 {
+			j := i | mt
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
 }
 
 // applyRZZ applies exp(-i θ/2 Z_a Z_b), which is diagonal.
 func (s *State) applyRZZ(a, b int, theta float64) {
 	s.invalidate()
-	amp := s.amp
+	re, im := s.re, s.im
 	ma, mb := 1<<a, 1<<b
 	ePlus := cmplx.Exp(complex(0, -theta/2)) // ZZ eigenvalue +1
 	eMinus := cmplx.Exp(complex(0, theta/2)) // ZZ eigenvalue -1
-	par.For(len(amp), func(lo, hi int) {
+	pr, pi := real(ePlus), imag(ePlus)
+	mr, mi := real(eMinus), imag(eMinus)
+	par.For(len(re), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			r, m := re[i], im[i]
 			if (i&ma != 0) == (i&mb != 0) {
-				amp[i] *= ePlus
+				re[i] = r*pr - m*pi
+				im[i] = r*pi + m*pr
 			} else {
-				amp[i] *= eMinus
+				re[i] = r*mr - m*mi
+				im[i] = r*mi + m*mr
 			}
 		}
 	})
@@ -236,8 +383,15 @@ func (s *State) applyRZZ(a, b int, theta float64) {
 // {u00, u01, u10, u11}; ok is false for kinds that are not one-qubit
 // unitaries.
 func gateMatrix1Q(g circuit.Gate) (m [4]complex128, ok bool) {
+	return gateMatrix1QTheta(g.Kind, g.Theta)
+}
+
+// gateMatrix1QTheta is gateMatrix1Q over an explicit angle — the form
+// plan binding uses, where the angle comes from the parameter vector
+// rather than the gate.
+func gateMatrix1QTheta(k circuit.Kind, theta float64) (m [4]complex128, ok bool) {
 	invSqrt2 := complex(1/math.Sqrt2, 0)
-	switch g.Kind {
+	switch k {
 	case circuit.I:
 		return [4]complex128{1, 0, 0, 1}, true
 	case circuit.X:
@@ -253,13 +407,13 @@ func gateMatrix1Q(g circuit.Gate) (m [4]complex128, ok bool) {
 	case circuit.T:
 		return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, math.Pi/4))}, true
 	case circuit.RX:
-		c, sn := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		c, sn := math.Cos(theta/2), math.Sin(theta/2)
 		return [4]complex128{complex(c, 0), complex(0, -sn), complex(0, -sn), complex(c, 0)}, true
 	case circuit.RY:
-		c, sn := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
+		c, sn := math.Cos(theta/2), math.Sin(theta/2)
 		return [4]complex128{complex(c, 0), complex(-sn, 0), complex(sn, 0), complex(c, 0)}, true
 	case circuit.RZ:
-		return [4]complex128{cmplx.Exp(complex(0, -g.Theta/2)), 0, 0, cmplx.Exp(complex(0, g.Theta/2))}, true
+		return [4]complex128{cmplx.Exp(complex(0, -theta/2)), 0, 0, cmplx.Exp(complex(0, theta/2))}, true
 	default:
 		return m, false
 	}
@@ -296,7 +450,7 @@ func Run(c *circuit.Circuit) (*State, error) {
 }
 
 // RunReuse is Run over recycled storage: when st is non-nil and matches
-// the circuit's register width, its amplitude array (and sampler
+// the circuit's register width, its amplitude arrays (and sampler
 // scratch) are reset and reused instead of allocating a fresh 2^n
 // statevector; otherwise a new State is allocated. The returned state is
 // numerically identical to Run's either way. Callers own st exclusively:
@@ -334,14 +488,13 @@ func (s *State) AppendProbabilities(dst []float64) []float64 {
 	if san.Enabled {
 		san.Verify("qsim.State.AppendProbabilities", dst)
 	}
-	amp := s.amp
+	re, im := s.re, s.im
 	start := len(dst)
-	dst = growFloat64(dst, len(amp))
+	dst = growFloat64(dst, len(re))
 	p := dst[start:]
-	par.For(len(amp), func(lo, hi int) {
+	par.For(len(re), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			a := amp[i]
-			p[i] = real(a)*real(a) + imag(a)*imag(a)
+			p[i] = re[i]*re[i] + im[i]*im[i]
 		}
 	})
 	if san.Enabled {
@@ -367,14 +520,13 @@ func growFloat64(dst []float64, n int) []float64 {
 // not be shared with other goroutines while the call runs.
 func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
 	s.invalidate()
-	amp := s.amp
+	re, im := s.re, s.im
 	m := 1 << q
-	p1 := par.SumFloat64(len(amp), func(lo, hi int) float64 {
+	p1 := par.SumFloat64(len(re), func(lo, hi int) float64 {
 		var t float64
 		for i := lo; i < hi; i++ {
 			if i&m != 0 {
-				a := amp[i]
-				t += real(a)*real(a) + imag(a)*imag(a)
+				t += re[i]*re[i] + im[i]*im[i]
 			}
 		}
 		return t
@@ -389,12 +541,14 @@ func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
 	} else {
 		norm = math.Sqrt(1 - p1)
 	}
-	par.For(len(amp), func(lo, hi int) {
+	par.For(len(re), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if (i&m != 0) != (outcome == 1) {
-				amp[i] = 0
+				re[i] = 0
+				im[i] = 0
 			} else if norm > 0 {
-				amp[i] /= complex(norm, 0)
+				re[i] /= norm
+				im[i] /= norm
 			}
 		}
 	})
@@ -403,13 +557,12 @@ func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
 
 // ExpectationZ returns ⟨Z_q⟩ for a single qubit.
 func (s *State) ExpectationZ(q int) float64 {
-	amp := s.amp
+	re, im := s.re, s.im
 	m := 1 << q
-	return par.SumFloat64(len(amp), func(lo, hi int) float64 {
+	return par.SumFloat64(len(re), func(lo, hi int) float64 {
 		var e float64
 		for i := lo; i < hi; i++ {
-			a := amp[i]
-			p := real(a)*real(a) + imag(a)*imag(a)
+			p := re[i]*re[i] + im[i]*im[i]
 			if i&m == 0 {
 				e += p
 			} else {
@@ -422,13 +575,12 @@ func (s *State) ExpectationZ(q int) float64 {
 
 // ExpectationZZ returns ⟨Z_a Z_b⟩.
 func (s *State) ExpectationZZ(a, b int) float64 {
-	amp := s.amp
+	re, im := s.re, s.im
 	ma, mb := 1<<a, 1<<b
-	return par.SumFloat64(len(amp), func(lo, hi int) float64 {
+	return par.SumFloat64(len(re), func(lo, hi int) float64 {
 		var e float64
 		for i := lo; i < hi; i++ {
-			x := amp[i]
-			p := real(x)*real(x) + imag(x)*imag(x)
+			p := re[i]*re[i] + im[i]*im[i]
 			if (i&ma != 0) == (i&mb != 0) {
 				e += p
 			} else {

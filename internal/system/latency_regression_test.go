@@ -1,0 +1,70 @@
+package system
+
+import (
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"qtenon/internal/host"
+	"qtenon/internal/vqa"
+)
+
+// evaluateNsCeiling bounds the median latency of one warmed 12-qubit /
+// 100-shot Evaluate. The SoA kernel rework (DESIGN.md §11) brought the
+// call from ~681µs to ~270µs on the reference container; the ceiling
+// sits at ~1.8× the measured figure — generous against machine jitter
+// and CPU-generation spread, but well below the pre-SoA latency, so
+// losing the SoA kernels, the tiled sweep, or the sign/phase term split
+// trips it. Slow or heavily shared machines can skip the gate with
+// -short or QTENON_SKIP_PERF_GATES=1.
+const evaluateNsCeiling = 500 * time.Microsecond
+
+// BenchmarkEvaluateLatencyRegression fails the build when the warmed
+// evaluation hot path regresses past the ns/op ceiling. CI runs it via
+// `-bench='Alloc|Latency' -benchtime=1x` alongside the alloc gates.
+func BenchmarkEvaluateLatencyRegression(b *testing.B) {
+	if testing.Short() {
+		b.Skip("latency gate skipped in -short mode")
+	}
+	if os.Getenv("QTENON_SKIP_PERF_GATES") != "" {
+		b.Skip("latency gate skipped: QTENON_SKIP_PERF_GATES set")
+	}
+	w, err := vqa.New(vqa.VQE, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(host.BoomL())
+	cfg.Shots = 100
+	s, err := New(cfg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := append([]float64(nil), w.InitialParams...)
+	eval := func() {
+		params[0] += 1e-3
+		if _, err := s.Evaluate(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eval() // warm every arena before timing
+	eval()
+	for i := 0; i < b.N; i++ {
+		// Median of batch means: robust to one GC pause or scheduler
+		// hiccup without hiding a systematic regression.
+		const batches, perBatch = 5, 20
+		means := make([]time.Duration, batches)
+		for j := range means {
+			start := time.Now()
+			for k := 0; k < perBatch; k++ {
+				eval()
+			}
+			means[j] = time.Since(start) / perBatch
+		}
+		sort.Slice(means, func(a, c int) bool { return means[a] < means[c] })
+		if med := means[batches/2]; med > evaluateNsCeiling {
+			b.Fatalf("warmed Evaluate median latency %v exceeds ceiling %v — the SoA/tiled hot path regressed (skip with -short or QTENON_SKIP_PERF_GATES=1 on slow machines)",
+				med, evaluateNsCeiling)
+		}
+	}
+}

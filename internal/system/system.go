@@ -326,6 +326,24 @@ func (s *System) setup(params []float64) (sim.Time, error) {
 	return t, nil
 }
 
+// EvaluateBatch evaluates every parameter vector in batch order —
+// backend.Batcher. A machine's evaluations are inherently serial events
+// on one accounting timeline (each one advances the incremental-compile
+// diff state, the engine clock and the metrics registry), so the batch
+// is exactly the serial sequence and the accounting is identical to
+// per-call Evaluate; what the batch form buys is the optimizer-side
+// amortization (one call per gradient, shared shifted-vector storage).
+func (s *System) EvaluateBatch(sets [][]float64, out []float64) error {
+	for k, p := range sets {
+		v, err := s.Evaluate(p)
+		if err != nil {
+			return err
+		}
+		out[k] = v
+	}
+	return nil
+}
+
 // Evaluate runs one cost evaluation with full Qtenon accounting. It is an
 // opt.Evaluator.
 func (s *System) Evaluate(params []float64) (float64, error) {

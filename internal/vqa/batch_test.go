@@ -1,0 +1,67 @@
+package vqa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// BatchExact shares one compiled plan and one statevector arena across
+// every evaluation; its values must match the compile-per-call ExactCost
+// to fusion tolerance on every workload that has a diagonal Hamiltonian.
+func TestBatchExactMatchesExactCost(t *testing.T) {
+	for _, kind := range []Kind{QAOA, VQE} {
+		w, err := New(kind, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := w.BatchExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		sets := make([][]float64, 6)
+		for k := range sets {
+			p := make([]float64, w.NumParams())
+			for i := range p {
+				p[i] = rng.NormFloat64()
+			}
+			sets[k] = p
+		}
+		sets[0] = append([]float64(nil), w.InitialParams...)
+		out := make([]float64, len(sets))
+		if err := batch(sets, out); err != nil {
+			t.Fatal(err)
+		}
+		for k, p := range sets {
+			want, err := w.ExactCost(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(out[k]-want) > 1e-12 {
+				t.Errorf("%s batch[%d] = %.17g, ExactCost %.17g", w.Name, k, out[k], want)
+			}
+		}
+		// Repeated calls reuse the arena and stay consistent.
+		out2 := make([]float64, len(sets))
+		if err := batch(sets, out2); err != nil {
+			t.Fatal(err)
+		}
+		for k := range out {
+			if out[k] != out2[k] {
+				t.Errorf("%s: repeated batch diverged at %d: %.17g vs %.17g", w.Name, k, out[k], out2[k])
+			}
+		}
+	}
+}
+
+// QNN has no diagonal Hamiltonian; BatchExact must refuse like ExactCost.
+func TestBatchExactRejectsQNN(t *testing.T) {
+	w, err := New(QNN, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.BatchExact(); err == nil {
+		t.Error("BatchExact accepted a workload without a Hamiltonian")
+	}
+}
