@@ -17,6 +17,7 @@ import (
 	"qtenon/internal/opt"
 	"qtenon/internal/par"
 	"qtenon/internal/qsim"
+	"qtenon/internal/qsim/engine"
 	"qtenon/internal/slt"
 	"qtenon/internal/system"
 	"qtenon/internal/tilelink"
@@ -50,6 +51,9 @@ func BenchmarkFigure17(b *testing.B) { benchExperiment(b, "fig17") }
 // Design-choice ablations beyond the paper (DESIGN.md §3).
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
 
+// Simulation-method router demonstration (DESIGN.md §12).
+func BenchmarkRouter(b *testing.B) { benchExperiment(b, "router") }
+
 // Component micro-benchmarks: the hot paths behind the experiments.
 
 func BenchmarkStatevector12Qubit(b *testing.B) {
@@ -72,7 +76,11 @@ func BenchmarkStatevector12Qubit(b *testing.B) {
 func benchApply1Q(b *testing.B, workers int) {
 	par.SetWorkers(workers)
 	defer par.SetWorkers(0)
-	s := qsim.NewState(20)
+	d, err := engine.NewDense(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := d.State()
 	g := circuit.Gate{Kind: circuit.H, Qubit: 9, Param: circuit.NoParam}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

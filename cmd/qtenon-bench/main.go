@@ -8,6 +8,7 @@
 //	qtenon-bench -quick          # CI-sized parameters
 //	qtenon-bench -list           # list experiment ids
 //	qtenon-bench -json out.json  # also emit machine-readable timings
+//	qtenon-bench -method dense   # pin the simulation engine (auto|dense|clifford|product)
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"qtenon/internal/bench"
+	"qtenon/internal/route"
 	"qtenon/internal/wallclock"
 )
 
@@ -51,8 +53,14 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		jsonOut    = flag.String("json", "", "write per-experiment wall-clock timings as JSON to this file")
+		method     = flag.String("method", "auto", "simulation engine: auto routes per circuit; dense|clifford|product pin one")
 	)
 	flag.Parse()
+	forced, err := route.ParseMethod(*method)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qtenon-bench:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(bench.Names(), "\n"))
@@ -91,6 +99,7 @@ func main() {
 		if *quick {
 			sc = bench.QuickScale
 		}
+		sc.Method = forced
 		for _, spsa := range []bool{false, true} {
 			rows, err := bench.SweepRows(sc, spsa)
 			if err != nil {
@@ -126,6 +135,7 @@ func main() {
 	if *quick {
 		sc = bench.QuickScale
 	}
+	sc.Method = forced
 	names := bench.Names()
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")

@@ -1,0 +1,60 @@
+// Stabilizer: run a 26-qubit Clifford-only workload through the full
+// Qtenon system — two qubits past the dense statevector's 24-qubit
+// ceiling. The chip's method router (DESIGN.md §12) recognizes the
+// circuit as Clifford and executes it on the bit-packed stabilizer
+// tableau, so the run completes in milliseconds where the dense engine
+// cannot start; forcing the dense method on the same workload fails
+// with the routing error, shown last.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qtenon/internal/backend"
+	"qtenon/internal/host"
+	"qtenon/internal/opt"
+	"qtenon/internal/route"
+	"qtenon/internal/system"
+	"qtenon/internal/vqa"
+)
+
+func main() {
+	// The Clifford scaling workload: a 26-qubit graph state (H on every
+	// qubit, CZ per coupling edge) under a MaxCut Hamiltonian. All gates
+	// are Clifford and there is nothing to optimize — 0 parameters — so
+	// each iteration is one full evaluate/sample round trip.
+	w, err := vqa.New(vqa.Stabilizer, 26)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (%d gates, %d parameters)\n",
+		w.Name, len(w.Circuit.Gates), w.NumParams())
+
+	o := opt.DefaultOptions()
+	res, err := backend.Run(system.Factory{Cfg: system.DefaultConfig(host.BoomL())}, w, backend.GD, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulation method: %s\n", res.Method)
+	fmt.Println("breakdown:        ", res.Breakdown)
+	exact, err := w.ExactCost(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact cost (tableau expectation): %.3f\n", exact)
+	fmt.Print("sampled cost per iteration:")
+	for _, c := range res.History {
+		fmt.Printf(" %.3f", c)
+	}
+	fmt.Println()
+
+	// The same register is impossible on the dense engine: 2^26
+	// amplitudes exceed the simulator's 24-qubit window, and the router
+	// refuses a forced method it cannot execute.
+	cfg := system.DefaultConfig(host.BoomL())
+	cfg.Method = route.Dense
+	if _, err := backend.Run(system.Factory{Cfg: cfg}, w, backend.GD, o); err != nil {
+		fmt.Printf("\nforced dense: %v\n", err)
+	}
+}

@@ -30,6 +30,7 @@ type golden struct {
 	pulsesGenerated  int64
 	sltHitRate       float64
 	history          []float64
+	method           string
 }
 
 var goldens = map[string]golden{
@@ -43,6 +44,7 @@ var goldens = map[string]golden{
 		pulsesGenerated:  808,
 		sltHitRate:       0.91990483743061058,
 		history:          []float64{-3.8359999999999999, -4.0759999999999996, -5.1059999999999999},
+		method:           "dense",
 	},
 	"baseline/gd": {
 		breakdown:        report.Breakdown{Quantum: 47880000000, Comm: 252509664960, PulseGen: 10584000000, HostComp: 55441890000},
@@ -52,6 +54,7 @@ var goldens = map[string]golden{
 		commActivity:     252509664960,
 		pulsesGenerated:  10584,
 		history:          []float64{-3.8359999999999999, -4.0759999999999996, -5.1059999999999999},
+		method:           "dense",
 	},
 	"qtenon/spsa": {
 		breakdown:        report.Breakdown{Quantum: 6840000000, Comm: 433000, PulseGen: 87265000, HostComp: 7294554},
@@ -63,6 +66,7 @@ var goldens = map[string]golden{
 		pulsesGenerated:  696,
 		sltHitRate:       0.51933701657458564,
 		history:          []float64{-4.3120000000000003, -4.0860000000000003, -4.6360000000000001},
+		method:           "dense",
 	},
 	"baseline/spsa": {
 		breakdown:        report.Breakdown{Quantum: 6840000000, Comm: 36072809280, PulseGen: 1512000000, HostComp: 7920270000},
@@ -72,6 +76,7 @@ var goldens = map[string]golden{
 		commActivity:     36072809280,
 		pulsesGenerated:  1512,
 		history:          []float64{-4.3120000000000003, -4.0860000000000003, -4.6360000000000001},
+		method:           "dense",
 	},
 }
 
@@ -123,6 +128,9 @@ func checkGolden(t *testing.T, got report.RunResult, want golden) {
 		if got.History[i] != want.history[i] {
 			t.Errorf("history[%d] = %.17g, want %.17g", i, got.History[i], want.history[i])
 		}
+	}
+	if got.Method != want.method {
+		t.Errorf("method = %q, want %q", got.Method, want.method)
 	}
 }
 

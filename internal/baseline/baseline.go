@@ -17,6 +17,7 @@ import (
 	"qtenon/internal/metrics"
 	"qtenon/internal/quantum"
 	"qtenon/internal/report"
+	"qtenon/internal/route"
 	"qtenon/internal/sim"
 	"qtenon/internal/vqa"
 )
@@ -56,6 +57,9 @@ type Config struct {
 	// message per shot (an ablation; the default decoupled stack streams
 	// per shot).
 	BatchResults bool
+	// Method pins the chip's simulation method; route.Auto (zero value)
+	// keeps automatic routing.
+	Method route.Method
 }
 
 // DefaultConfig returns the paper's baseline setup.
@@ -91,6 +95,9 @@ type System struct {
 	breakdown report.Breakdown
 	evals     int
 	instrs    int
+	// method is the simulation method the chip's router resolved on the
+	// most recent evaluation (route.Auto before the first one).
+	method route.Method
 
 	reg *metrics.Registry
 	m   instruments
@@ -108,6 +115,9 @@ type instruments struct {
 	shots        *metrics.Counter
 	shotTime     *metrics.Timer
 	pulses       *metrics.Counter
+	// methods counts evaluations per routed simulation method, indexed
+	// by route.Method ("quantum.method.dense" etc.; Auto never fires).
+	methods [route.NumMethods]*metrics.Counter
 }
 
 // New binds a baseline system to a workload.
@@ -128,6 +138,7 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	quantum.ForceMethodOn(chip, cfg.Method)
 	ct := w.Circuit.Count()
 	// Generate the actual quantum-dedicated program once to size the
 	// per-evaluation upload; the structure is parameter-independent.
@@ -136,6 +147,10 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 		return nil, err
 	}
 	reg := metrics.NewRegistry()
+	var methods [route.NumMethods]*metrics.Counter
+	for m := route.Method(0); m < route.NumMethods; m++ {
+		methods[m] = reg.Counter("quantum.method." + m.String())
+	}
 	return &System{
 		cfg:      cfg,
 		workload: w,
@@ -158,6 +173,7 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 			shots:        reg.Counter("quantum.shots"),
 			shotTime:     reg.Timer("quantum.shot_time_ps"),
 			pulses:       reg.Counter("pulse.generated"),
+			methods:      methods,
 		},
 	}, nil
 }
@@ -215,6 +231,10 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 	b.Quantum += sim.Time(s.cfg.Shots) * (ex.ShotTime + s.cfg.ADI.RoundTrip())
 	s.m.shots.Add(int64(s.cfg.Shots))
 	s.m.shotTime.Observe(int64(ex.ShotTime))
+	if m, ok := quantum.MethodOf(s.chip); ok {
+		s.method = m
+		s.m.methods[m].Inc()
+	}
 
 	// 5. Results return over UDP.
 	resultBytes := (s.workload.NQubits() + 7) / 8
@@ -242,6 +262,10 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 // shares. History is the optimizer's to fill (backend.RunOn overwrites
 // it).
 func (s *System) Result() report.RunResult {
+	var method string
+	if s.evals > 0 {
+		method = s.method.String()
+	}
 	return report.RunResult{
 		Breakdown:        s.breakdown,
 		Evaluations:      s.evals,
@@ -249,6 +273,7 @@ func (s *System) Result() report.RunResult {
 		HostActivity:     s.breakdown.HostComp,
 		CommActivity:     s.breakdown.Comm,
 		PulsesGenerated:  int64(s.pulses) * int64(s.evals),
+		Method:           method,
 	}
 }
 

@@ -17,13 +17,17 @@ import (
 	"qtenon/internal/opt"
 	"qtenon/internal/par"
 	"qtenon/internal/report"
+	"qtenon/internal/route"
 	"qtenon/internal/system"
 	"qtenon/internal/vqa"
 )
 
-// Scale selects experiment size.
+// Scale selects experiment size. Method optionally pins every run's
+// simulation engine (qtenon-bench -method); the route.Auto zero value
+// lets each chip's router choose per circuit.
 type Scale struct {
-	Quick bool
+	Quick  bool
+	Method route.Method
 }
 
 // Full is the paper-faithful scale; Quick is the CI scale.
@@ -95,6 +99,9 @@ func runQtenon(kind vqa.Kind, nq int, core host.Core, spsa bool, sc Scale) (repo
 
 func runQtenonCfg(cfg system.Config, kind vqa.Kind, nq int, spsa bool, sc Scale) (report.RunResult, error) {
 	cfg.Shots = sc.Shots()
+	if sc.Method != route.Auto {
+		cfg.Method = sc.Method
+	}
 	o := sc.options()
 	return cache.do(qtenonKey(cfg, kind, nq, spsa, o), func() (report.RunResult, error) {
 		w, err := vqa.New(kind, nq)
@@ -109,6 +116,9 @@ func runQtenonCfg(cfg system.Config, kind vqa.Kind, nq int, spsa bool, sc Scale)
 func runBaseline(kind vqa.Kind, nq int, spsa bool, sc Scale) (report.RunResult, error) {
 	cfg := baseline.DefaultConfig()
 	cfg.Shots = sc.Shots()
+	if sc.Method != route.Auto {
+		cfg.Method = sc.Method
+	}
 	o := sc.options()
 	return cache.do(baselineKey(cfg, kind, nq, spsa, o), func() (report.RunResult, error) {
 		w, err := vqa.New(kind, nq)

@@ -23,6 +23,7 @@ var Experiments = map[string]Generator{
 	"fig16":     Figure16,
 	"fig17":     Figure17,
 	"ablations": Ablations,
+	"router":    Router,
 }
 
 // Names lists experiment ids in a stable order.

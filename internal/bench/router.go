@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"qtenon/internal/backend"
+	"qtenon/internal/host"
+	"qtenon/internal/qsim"
+	"qtenon/internal/report"
+	"qtenon/internal/route"
+	"qtenon/internal/system"
+	"qtenon/internal/vqa"
+)
+
+// RouterQubits returns the (dense-window, beyond-dense) register pair
+// the router experiment exercises: the small size runs on both engines
+// for a like-for-like comparison; the wide size exceeds qsim.MaxQubits
+// so only the stabilizer tableau can execute it.
+func (s Scale) RouterQubits() (small, wide int) {
+	if s.Quick {
+		return 10, 26
+	}
+	return 12, 26
+}
+
+// Router demonstrates the simulation-method router (DESIGN.md §12) on
+// the Clifford-only Stabilizer workload: within the dense window the
+// forced-dense and auto (→ tableau) runs report identical modeled
+// timing and shot-noise-level cost agreement; beyond the 24-qubit dense
+// window the dense engine is impossible and only the routed tableau run
+// completes. The wide row is the "beyond 20 qubits" capability the
+// dense-only stack could never produce.
+func Router(sc Scale) (string, error) {
+	small, wide := sc.RouterQubits()
+
+	type row struct {
+		workload string
+		method   route.Method
+		res      report.RunResult
+		err      error
+	}
+	cells := []struct {
+		nq     int
+		method route.Method // forced; Auto lets the chip's router pick
+	}{
+		{small, route.Dense},
+		{small, route.Auto},
+		{wide, route.Dense},
+		{wide, route.Auto},
+	}
+	rows := make([]row, len(cells))
+	err := forEachPoint(len(cells), func(i int) error {
+		cfg := system.DefaultConfig(host.BoomL())
+		cfg.Method = cells[i].method
+		res, err := runStabilizer(cfg, cells[i].nq, sc)
+		rows[i] = row{
+			workload: fmt.Sprintf("Stabilizer-%dq", cells[i].nq),
+			method:   cells[i].method,
+			res:      res,
+			err:      err,
+		}
+		// Infeasible cells are the experiment's point, not a failure:
+		// the dense engine is expected to refuse the wide register.
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	sb.WriteString(header(fmt.Sprintf("Router: Clifford workload across engines (%dq dense window, %dq beyond)", small, wide)))
+	tb := newTable("workload", "requested", "ran", "status", "total", "evals", "final cost")
+	for _, r := range rows {
+		req := r.method.String()
+		if r.err != nil {
+			tb.AddRow(r.workload, req, "-", "impossible", "-", "-", "-")
+			continue
+		}
+		final := "-"
+		if len(r.res.History) > 0 {
+			final = fmt.Sprintf("%.3f", r.res.History[len(r.res.History)-1])
+		}
+		tb.AddRow(r.workload, req, r.res.Method, "completed",
+			r.res.Breakdown.Total().String(), r.res.Evaluations, final)
+	}
+	sb.WriteString(tb.String())
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(&sb, "infeasible %s under %s: %v\n", r.workload, r.method, r.err)
+		}
+	}
+	sb.WriteString("the auto rows route Clifford-only circuits to the stabilizer tableau at any width;\n")
+	sb.WriteString(fmt.Sprintf("the %dq register exceeds the %d-qubit dense window, so only the routed run completes.\n", wide, qsim.MaxQubits))
+	return sb.String(), nil
+}
+
+// runStabilizer executes the Clifford scaling workload on the Qtenon
+// system under an explicit method pin, through the shared run cache.
+func runStabilizer(cfg system.Config, nq int, sc Scale) (report.RunResult, error) {
+	cfg.Shots = sc.Shots()
+	o := sc.options()
+	return cache.do(qtenonKey(cfg, vqa.Stabilizer, nq, false, o), func() (report.RunResult, error) {
+		w, err := vqa.New(vqa.Stabilizer, nq)
+		if err != nil {
+			return report.RunResult{}, err
+		}
+		return backend.Run(system.Factory{Cfg: cfg}, w, backend.GD, o)
+	})
+}

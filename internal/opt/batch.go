@@ -50,7 +50,9 @@ type batchScratch struct {
 
 func (s *batchScratch) ensure(p int) {
 	n := 2 * p
-	if cap(s.flat) < n*p {
+	// oneVal==nil catches the p==0 first call: the gradient batch is
+	// empty, but the post-update cost still needs its single-point batch.
+	if s.oneVal == nil || cap(s.flat) < n*p {
 		s.flat = make([]float64, n*p)
 		s.sets = make([][]float64, n)
 		for k := 0; k < n; k++ {

@@ -68,12 +68,16 @@ type Result struct {
 	Evaluations int       // total Evaluator calls
 }
 
+// validate checks run options. A zero-length parameter vector is
+// allowed: gradient loops degrade to one plain evaluation per iteration
+// (0-parameter workloads — e.g. the Clifford stabilizer family — have
+// nothing to optimize but still exercise the full evaluation pipeline).
 func (o Options) validate(nparams int) error {
 	if o.Iterations <= 0 {
 		return fmt.Errorf("opt: non-positive iteration count %d", o.Iterations)
 	}
-	if nparams == 0 {
-		return fmt.Errorf("opt: empty parameter vector")
+	if nparams < 0 {
+		return fmt.Errorf("opt: negative parameter count %d", nparams)
 	}
 	return nil
 }

@@ -154,8 +154,19 @@ func TestOptionValidation(t *testing.T) {
 	if _, err := GradientDescent(quadratic([]float64{0}), []float64{0}, o); err == nil {
 		t.Error("GD accepted 0 iterations")
 	}
-	if _, err := SPSA(quadratic(nil), nil, DefaultOptions()); err == nil {
-		t.Error("SPSA accepted empty params")
+	// Zero-parameter vectors are legal: gradient loops degrade to one
+	// plain evaluation per iteration (0-param Clifford workloads).
+	res, err := SPSA(quadratic(nil), nil, DefaultOptions())
+	if err != nil {
+		t.Errorf("SPSA rejected empty params: %v", err)
+	} else if len(res.History) != DefaultOptions().Iterations {
+		t.Errorf("0-param SPSA history = %d, want %d", len(res.History), DefaultOptions().Iterations)
+	}
+	gres, err := GradientDescent(quadratic(nil), nil, DefaultOptions())
+	if err != nil {
+		t.Errorf("GD rejected empty params: %v", err)
+	} else if gres.Evaluations != DefaultOptions().Iterations {
+		t.Errorf("0-param GD evaluations = %d, want %d (one per iteration)", gres.Evaluations, DefaultOptions().Iterations)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/qsim"
+	"qtenon/internal/qsim/tableau"
 )
 
 // Axis is a single-qubit Pauli factor.
@@ -200,6 +201,28 @@ func (h *Hamiltonian) Expectation(st *qsim.State) float64 {
 		e += t.Coeff * expectStr(st, t.Str)
 	}
 	return e
+}
+
+// ExpectationTableau computes ⟨ψ|H|ψ⟩ exactly against a stabilizer
+// state. Every term must be Z-diagonal and supported on the first 64
+// qubits (the tableau's Z-string mask window); term expectations on a
+// stabilizer state are exactly −1, 0, or +1, so the result is an exact
+// small integer combination of the coefficients.
+func (h *Hamiltonian) ExpectationTableau(t *tableau.Tableau) (float64, error) {
+	if t.NQubits() < h.NQubits {
+		return 0, fmt.Errorf("pauli: tableau narrower than Hamiltonian (%d < %d)", t.NQubits(), h.NQubits)
+	}
+	e := h.Offset
+	for _, term := range h.Terms {
+		if !term.Str.ZBasisOnly() {
+			return 0, fmt.Errorf("pauli: tableau expectation needs Z-diagonal terms, have %v", term.Str)
+		}
+		if term.Str.MaxQubit() >= 64 {
+			return 0, fmt.Errorf("pauli: term %v outside the 64-qubit mask window", term.Str)
+		}
+		e += term.Coeff * t.ZExpectationMask(term.Str.Mask())
+	}
+	return e, nil
 }
 
 // expectStr computes ⟨ψ|P|ψ⟩ for one Pauli string by applying the basis

@@ -1,0 +1,23 @@
+package tableau
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCliffordTableauMatchesDense generates random Clifford-only
+// circuits up to 12 qubits and asserts the tableau's basis distribution
+// matches the dense statevector's exactly — tableau probabilities are
+// dyadic 2^-s values summing to exactly 1, and the dense values snapped
+// to the same lattice must agree bit for bit (see checkAgainstDense).
+func FuzzCliffordTableauMatchesDense(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(5))
+	f.Add(int64(7), uint8(8), uint8(40))
+	f.Add(int64(99), uint8(12), uint8(80))
+	f.Fuzz(func(t *testing.T, seed int64, qubits, gates uint8) {
+		n := 2 + int(qubits)%11 // 2..12
+		ngates := 1 + int(gates)%100
+		rng := rand.New(rand.NewSource(seed))
+		checkAgainstDense(t, randomCliffordCircuit(n, ngates, rng))
+	})
+}

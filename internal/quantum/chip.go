@@ -1,35 +1,40 @@
 // Package quantum models the quantum chip and its analog-digital
-// interface. Two execution backends share one interface:
+// interface. Execution backends share the engine.Simulator interface
+// and are chosen per circuit by the method router (internal/route):
 //
-//   - Exact: the statevector simulator (internal/qsim), used up to
+//   - dense: the statevector simulator (internal/qsim), used up to
 //     ExactLimit qubits — this is the paper's "simulator data obtained
 //     from Qiskit" role.
-//   - Surrogate: a mean-field product-state model for large registers
-//     (the paper's 64–320-qubit sweeps), exact for single-qubit gates and
-//     mean-field for entanglers. It produces parameter-sensitive
-//     measurement statistics at O(n) cost, preserving the optimizer
-//     traffic patterns that the architecture experiments measure, which
-//     depend on shot counts and parameter counts, not on entanglement
-//     fidelity. The substitution is documented in DESIGN.md.
+//   - clifford: the CHP stabilizer tableau (internal/qsim/tableau),
+//     exact for Clifford-only circuits at any width the paper sweeps.
+//   - product: a mean-field product-state model for large generic
+//     registers (the paper's 64–320-qubit sweeps), exact for
+//     single-qubit gates and mean-field for entanglers. It produces
+//     parameter-sensitive measurement statistics at O(n) cost,
+//     preserving the optimizer traffic patterns that the architecture
+//     experiments measure, which depend on shot counts and parameter
+//     counts, not on entanglement fidelity. The substitution is
+//     documented in DESIGN.md.
 //
-// Timing is analytic in both backends, exactly as in the paper (§7.1):
+// Timing is analytic in all backends, exactly as in the paper (§7.1):
 // gates take 20/40 ns, measurement 600 ns, and a shot's duration is the
 // ASAP critical path of its circuit.
 package quantum
 
 import (
 	"fmt"
-	"math"
-	"math/cmplx"
 	"math/rand"
-	"qtenon/internal/rng"
 
 	"qtenon/internal/circuit"
-	"qtenon/internal/qsim"
+	"qtenon/internal/qsim/engine"
+	"qtenon/internal/qsim/product"
+	"qtenon/internal/rng"
+	"qtenon/internal/route"
 	"qtenon/internal/sim"
 )
 
-// ExactLimit is the largest register simulated exactly.
+// ExactLimit is the largest register simulated dense-exactly for
+// generic (non-Clifford) circuits — the router's DenseLimit.
 const ExactLimit = 16
 
 // Executor abstracts a quantum execution backend: the ideal Chip or a
@@ -49,24 +54,32 @@ type Execution struct {
 // TotalTime is shots × per-shot duration.
 func (e Execution) TotalTime() sim.Time { return sim.Time(len(e.Outcomes)) * e.ShotTime }
 
-// Chip executes bound circuits and samples measurements.
+// ProductState is the mean-field surrogate, promoted to
+// internal/qsim/product; the alias keeps the original API importable
+// from quantum.
+type ProductState = product.State
+
+// NewProductState returns |0…0⟩ — see product.New.
+func NewProductState(n int) *ProductState { return product.New(n) }
+
+// Chip executes bound circuits and samples measurements. Each Execute
+// routes its circuit to a simulation method; the per-method simulator
+// arenas are recycled across Execute calls so the optimizer's thousands
+// of evaluations do not each allocate a fresh state. Execution.Outcomes,
+// by contrast, is always freshly allocated — callers hold several
+// Executions' outcomes at once (e.g. readout mitigation pairs).
 type Chip struct {
 	nqubits int
 	timing  circuit.Timing
 	rng     *rand.Rand
-	exact   bool
-	// st and ps are the execution arenas: one statevector (exact) or one
-	// product state (surrogate) recycled across Execute calls, so the
-	// optimizer's thousands of evaluations do not each allocate a fresh
-	// 2^n amplitude array. Execution.Outcomes, by contrast, is always
-	// freshly allocated — callers hold several Executions' outcomes at
-	// once (e.g. readout mitigation pairs).
-	st *qsim.State
-	ps *ProductState
+	router  route.Router
+	method  route.Method // last method Execute resolved (Auto before any run)
+	sims    [route.NumMethods]engine.Simulator
 }
 
-// NewChip returns a chip over n qubits with the paper's gate timing,
-// selecting the exact backend when n ≤ ExactLimit.
+// NewChip returns a chip over n qubits with the paper's gate timing and
+// the default router (dense ≤ ExactLimit, tableau for Clifford circuits,
+// product beyond).
 func NewChip(n int, seed int64) (*Chip, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("quantum: non-positive qubit count %d", n)
@@ -75,18 +88,24 @@ func NewChip(n int, seed int64) (*Chip, error) {
 		nqubits: n,
 		timing:  circuit.DefaultTiming(),
 		rng:     rng.New(seed),
-		exact:   n <= ExactLimit,
+		router:  route.Router{DenseLimit: ExactLimit},
 	}, nil
 }
 
 // NQubits reports the register width.
 func (c *Chip) NQubits() int { return c.nqubits }
 
-// Exact reports whether the statevector backend is active.
-func (c *Chip) Exact() bool { return c.exact }
-
 // Timing exposes the gate-duration model.
 func (c *Chip) Timing() circuit.Timing { return c.timing }
+
+// Method reports the simulation method the most recent Execute resolved
+// to, or route.Auto before the first execution.
+func (c *Chip) Method() route.Method { return c.method }
+
+// ForceMethod pins every subsequent Execute to one simulation method;
+// route.Auto (the default) restores automatic selection. Execute fails
+// when the forced method cannot run the circuit.
+func (c *Chip) ForceMethod(m route.Method) { c.router.Force = m }
 
 // Execute runs `shots` repetitions of the bound circuit.
 func (c *Chip) Execute(ct *circuit.Circuit, shots int) (Execution, error) {
@@ -100,149 +119,49 @@ func (c *Chip) Execute(ct *circuit.Circuit, shots int) (Execution, error) {
 		return Execution{}, fmt.Errorf("quantum: non-positive shot count %d", shots)
 	}
 	shot := circuit.Duration(ct, c.timing)
-	var outcomes []uint64
-	if c.exact {
-		st, err := qsim.RunReuse(c.st, ct)
+	m, _, err := c.router.SelectWidth(ct, c.nqubits)
+	if err != nil {
+		return Execution{}, err
+	}
+	sim := c.sims[m]
+	if sim == nil || sim.NQubits() != ct.NQubits {
+		sim, err = route.NewSimulator(m, ct.NQubits)
 		if err != nil {
 			return Execution{}, err
 		}
-		c.st = st
-		outcomes = st.Sample(shots, c.rng)
-	} else {
-		ps := c.ps
-		if ps == nil || len(ps.a) != ct.NQubits {
-			ps = NewProductState(ct.NQubits)
-			c.ps = ps
-		} else {
-			ps.Reset()
-		}
-		for _, g := range ct.Gates {
-			ps.Apply(g)
-		}
-		outcomes = ps.Sample(shots, c.rng)
+		c.sims[m] = sim
 	}
+	if err := sim.Run(ct); err != nil {
+		return Execution{}, err
+	}
+	c.method = m
+	outcomes := sim.Sample(shots, c.rng)
 	return Execution{Outcomes: outcomes, ShotTime: shot}, nil
 }
 
-// ProductState is the mean-field surrogate: each qubit holds an exact
-// 2-component state; two-qubit gates couple qubits through their partner's
-// Z expectation (a mean-field decoupling of the interaction).
-type ProductState struct {
-	a, b []complex128 // per-qubit amplitudes of |0⟩ and |1⟩
-	p1   []float64    // Sample's per-qubit probability scratch
-}
+// methodReporter is any executor that reports its routed method.
+type methodReporter interface{ Method() route.Method }
 
-// NewProductState returns |0…0⟩.
-func NewProductState(n int) *ProductState {
-	ps := &ProductState{a: make([]complex128, n), b: make([]complex128, n)}
-	for i := range ps.a {
-		ps.a[i] = 1
+// methodForcer is any executor whose router accepts a pinned method.
+type methodForcer interface{ ForceMethod(route.Method) }
+
+// MethodOf reports the last method an executor routed to, when the
+// executor exposes one (Chip and NoisyChip do; ok is false otherwise).
+func MethodOf(e Executor) (route.Method, bool) {
+	if r, ok := e.(methodReporter); ok {
+		return r.Method(), true
 	}
-	return ps
+	return route.Auto, false
 }
 
-// Reset returns the product state to |0…0⟩ in place, keeping its
-// storage — the surrogate counterpart of qsim's State.Reset.
-func (ps *ProductState) Reset() {
-	for i := range ps.a {
-		ps.a[i] = 1
-		ps.b[i] = 0
+// ForceMethodOn pins the executor's method when it supports forcing;
+// it reports whether the executor did.
+func ForceMethodOn(e Executor, m route.Method) bool {
+	if f, ok := e.(methodForcer); ok {
+		f.ForceMethod(m)
+		return true
 	}
-}
-
-// P1 returns qubit q's |1⟩ probability.
-func (ps *ProductState) P1(q int) float64 {
-	return real(ps.b[q])*real(ps.b[q]) + imag(ps.b[q])*imag(ps.b[q])
-}
-
-// ZExp returns ⟨Z_q⟩ = 1 − 2·P1.
-func (ps *ProductState) ZExp(q int) float64 { return 1 - 2*ps.P1(q) }
-
-func (ps *ProductState) apply1Q(q int, u00, u01, u10, u11 complex128) {
-	a, b := ps.a[q], ps.b[q]
-	ps.a[q] = u00*a + u01*b
-	ps.b[q] = u10*a + u11*b
-}
-
-func (ps *ProductState) rz(q int, theta float64) {
-	ps.apply1Q(q, cmplx.Exp(complex(0, -theta/2)), 0, 0, cmplx.Exp(complex(0, theta/2)))
-}
-
-func (ps *ProductState) rx(q int, theta float64) {
-	c, s := math.Cos(theta/2), math.Sin(theta/2)
-	ps.apply1Q(q, complex(c, 0), complex(0, -s), complex(0, -s), complex(c, 0))
-}
-
-// Apply executes one gate under the mean-field rules.
-func (ps *ProductState) Apply(g circuit.Gate) {
-	invSqrt2 := complex(1/math.Sqrt2, 0)
-	switch g.Kind {
-	case circuit.I, circuit.Measure:
-	case circuit.X:
-		ps.apply1Q(g.Qubit, 0, 1, 1, 0)
-	case circuit.Y:
-		ps.apply1Q(g.Qubit, 0, complex(0, -1), complex(0, 1), 0)
-	case circuit.Z:
-		ps.apply1Q(g.Qubit, 1, 0, 0, -1)
-	case circuit.H:
-		ps.apply1Q(g.Qubit, invSqrt2, invSqrt2, invSqrt2, -invSqrt2)
-	case circuit.S:
-		ps.apply1Q(g.Qubit, 1, 0, 0, complex(0, 1))
-	case circuit.T:
-		ps.apply1Q(g.Qubit, 1, 0, 0, cmplx.Exp(complex(0, math.Pi/4)))
-	case circuit.RX:
-		ps.rx(g.Qubit, g.Theta)
-	case circuit.RY:
-		c, s := math.Cos(g.Theta/2), math.Sin(g.Theta/2)
-		ps.apply1Q(g.Qubit, complex(c, 0), complex(-s, 0), complex(s, 0), complex(c, 0))
-	case circuit.RZ:
-		ps.rz(g.Qubit, g.Theta)
-	case circuit.RZZ:
-		// Mean-field: e^{-iθ/2 Z⊗Z} → RZ(θ·⟨Z_b⟩) on a and RZ(θ·⟨Z_a⟩) on b.
-		za, zb := ps.ZExp(g.Qubit), ps.ZExp(g.Qubit2)
-		ps.rz(g.Qubit, g.Theta*zb)
-		ps.rz(g.Qubit2, g.Theta*za)
-	case circuit.CZ:
-		// CZ = e^{iπ/4(Z⊗Z − Z⊗I − I⊗Z + I)}: mean-field phase kick scaled
-		// by the partner's |1⟩ population.
-		pa, pb := ps.P1(g.Qubit), ps.P1(g.Qubit2)
-		ps.rz(g.Qubit, math.Pi*pb)
-		ps.rz(g.Qubit2, math.Pi*pa)
-	case circuit.CX:
-		// Mean-field CNOT: rotate the target by π weighted by the
-		// control's |1⟩ population.
-		ps.rx(g.Qubit2, math.Pi*ps.P1(g.Qubit))
-	default:
-		panic(fmt.Sprintf("quantum: unsupported gate %v in surrogate", g.Kind))
-	}
-}
-
-// Sample draws independent per-qubit outcomes. Outcome words carry the
-// first 64 qubits; wider registers sample all qubits (the RNG stream
-// advances identically) but report the 64-qubit cost window — see
-// DESIGN.md on >64-qubit cost evaluation.
-func (ps *ProductState) Sample(shots int, rng *rand.Rand) []uint64 {
-	n := len(ps.a)
-	p1 := ps.p1
-	if cap(p1) < n {
-		p1 = make([]float64, n)
-	}
-	p1 = p1[:n]
-	ps.p1 = p1
-	for q := range p1 {
-		p1[q] = ps.P1(q)
-	}
-	out := make([]uint64, shots)
-	for s := range out {
-		var v uint64
-		for q := 0; q < n; q++ {
-			if rng.Float64() < p1[q] && q < 64 {
-				v |= 1 << q
-			}
-		}
-		out[s] = v
-	}
-	return out
+	return false
 }
 
 // ADI is the analog-digital interface between controller and chip: fixed

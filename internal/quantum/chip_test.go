@@ -7,26 +7,69 @@ import (
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/qsim"
+	"qtenon/internal/route"
 	"qtenon/internal/sim"
 )
 
 func TestBackendSelection(t *testing.T) {
+	nonClifford := circuit.NewBuilder(2).H(0).RY(1, 0.3).MeasureAll().MustBuild()
+	clifford := circuit.NewBuilder(2).H(0).CX(0, 1).MeasureAll().MustBuild()
+
 	small, err := NewChip(8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !small.Exact() {
-		t.Error("8-qubit chip not exact")
+	if got := small.Method(); got != route.Auto {
+		t.Errorf("fresh chip Method = %v, want auto", got)
 	}
+	if _, err := small.Execute(nonClifford, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Method(); got != route.Dense {
+		t.Errorf("8-qubit chip routed %v for a generic circuit, want dense", got)
+	}
+	if _, err := small.Execute(clifford, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Method(); got != route.Clifford {
+		t.Errorf("8-qubit chip routed %v for a Clifford circuit, want clifford", got)
+	}
+
 	big, err := NewChip(64, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if big.Exact() {
-		t.Error("64-qubit chip claims exact backend")
+	if _, err := big.Execute(nonClifford, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := big.Method(); got != route.Product {
+		t.Errorf("64-qubit chip routed %v for a generic circuit, want product", got)
 	}
 	if _, err := NewChip(0, 1); err == nil {
 		t.Error("NewChip accepted 0 qubits")
+	}
+}
+
+func TestForceMethod(t *testing.T) {
+	clifford := circuit.NewBuilder(2).H(0).CX(0, 1).MeasureAll().MustBuild()
+	chip, _ := NewChip(2, 1)
+	chip.ForceMethod(route.Dense)
+	if _, err := chip.Execute(clifford, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := chip.Method(); got != route.Dense {
+		t.Errorf("forced dense, routed %v", got)
+	}
+	nonClifford := circuit.NewBuilder(2).RY(0, 0.3).MeasureAll().MustBuild()
+	chip.ForceMethod(route.Clifford)
+	if _, err := chip.Execute(nonClifford, 10); err == nil {
+		t.Error("clifford forced on a non-Clifford circuit did not fail")
+	}
+	if !ForceMethodOn(chip, route.Auto) {
+		t.Error("ForceMethodOn did not recognize the chip")
+	}
+	if _, err := chip.Execute(nonClifford, 10); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -100,6 +100,11 @@ type RunResult struct {
 	// SLTHitRate is the fraction of skip-lookup-table queries served
 	// without synthesis (Qtenon only).
 	SLTHitRate float64
+	// Method names the simulation engine the quantum chip's router
+	// selected for this run's circuits ("dense", "clifford", "product");
+	// empty when the run never executed a circuit or the executor does
+	// not report one.
+	Method string
 }
 
 // Speedup compares two run durations.

@@ -1,0 +1,244 @@
+// Package route selects a simulation method for each circuit — the
+// automatic technique switching that lets the system models run past
+// the dense statevector's 24-qubit wall (DESIGN.md §12). A circuit
+// analyzer classifies a bound circuit by its gate content and width;
+// the Router maps the class to one of three engines:
+//
+//   - dense: the SoA statevector (exact, ≤ qsim.MaxQubits qubits)
+//   - clifford: the CHP stabilizer tableau (exact, Clifford-only,
+//     thousands of qubits)
+//   - product: the mean-field surrogate (approximate, O(n), any width)
+//
+// The routing rules preserve the pre-router behavior bit-for-bit on
+// every non-Clifford workload: chips at or below the dense limit route
+// dense with an unchanged RNG stream, wider chips route product. Fully
+// Clifford circuits route to the tableau at any width — the new
+// capability. Mid-circuit measurement forces the dense engine (the only
+// one wired for collapse inside system trajectories).
+package route
+
+import (
+	"fmt"
+
+	"qtenon/internal/circuit"
+	"qtenon/internal/qsim"
+	"qtenon/internal/qsim/engine"
+	"qtenon/internal/qsim/tableau"
+)
+
+// Method identifies a simulation engine (or automatic selection).
+type Method uint8
+
+// The selectable methods. Auto is the zero value: let the router decide.
+const (
+	Auto Method = iota
+	Dense
+	Clifford
+	Product
+	NumMethods // array-sizing sentinel, not a method
+)
+
+var methodNames = [NumMethods]string{
+	Auto: "auto", Dense: "dense", Clifford: "clifford", Product: "product",
+}
+
+// String returns the CLI/metrics name of the method.
+func (m Method) String() string {
+	if int(m) < len(methodNames) {
+		return methodNames[m]
+	}
+	return fmt.Sprintf("method(%d)", uint8(m))
+}
+
+// ParseMethod maps a CLI name to its Method.
+func ParseMethod(name string) (Method, error) {
+	for m, n := range methodNames {
+		if n == name {
+			return Method(m), nil
+		}
+	}
+	return Auto, fmt.Errorf("route: unknown method %q (want auto|dense|clifford|product)", name)
+}
+
+// Class is the analyzer's circuit classification.
+type Class uint8
+
+// The circuit classes, ordered by how much structure the circuit offers
+// a specialised engine.
+const (
+	// ClassClifford: every gate is exactly Clifford — tableau-simulable
+	// at any width.
+	ClassClifford Class = iota
+	// ClassCliffordDominated: ≤ 10% non-Clifford gates (but at least
+	// one). Today this routes like dense/huge; the class is recorded so
+	// benches and future gadget-based engines can see the structure.
+	ClassCliffordDominated
+	// ClassSmallDense: generic circuit within the dense window.
+	ClassSmallDense
+	// ClassHuge: generic circuit past the dense window.
+	ClassHuge
+)
+
+var classNames = [...]string{
+	ClassClifford:          "clifford",
+	ClassCliffordDominated: "clifford-dominated",
+	ClassSmallDense:        "small-dense",
+	ClassHuge:              "huge",
+}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// DefaultDenseLimit is the widest register the router sends to the
+// dense engine — quantum.ExactLimit's pre-router value, kept here so
+// the split survives the Chip refactor.
+const DefaultDenseLimit = 16
+
+// Analysis is what the analyzer learned about one circuit.
+type Analysis struct {
+	Class       Class
+	NQubits     int
+	Gates       int // total gate count, Measure included
+	NonClifford int // gates the tableau cannot apply (unbound rotations count)
+	MidMeasure  bool
+}
+
+// Analyze classifies a circuit. Width classes use DefaultDenseLimit;
+// the Router's limit governs actual method choice. A Measure is
+// mid-circuit when a later non-Measure gate touches the same qubit.
+func Analyze(c *circuit.Circuit) Analysis {
+	a := Analysis{NQubits: c.NQubits, Gates: len(c.Gates)}
+	lastOp := make(map[int]int, 8) // qubit → index of its last non-Measure gate
+	for i, g := range c.Gates {
+		if g.Kind == circuit.Measure {
+			continue
+		}
+		lastOp[g.Qubit] = i
+		if g.Kind.Arity() == 2 {
+			lastOp[g.Qubit2] = i
+		}
+	}
+	for i, g := range c.Gates {
+		if g.Kind == circuit.Measure {
+			if last, ok := lastOp[g.Qubit]; ok && last > i {
+				a.MidMeasure = true
+			}
+			continue
+		}
+		if !tableau.IsClifford(g) {
+			a.NonClifford++
+		}
+	}
+	switch {
+	case a.NonClifford == 0:
+		a.Class = ClassClifford
+	case a.NonClifford*10 <= a.Gates:
+		a.Class = ClassCliffordDominated
+	case a.NQubits <= DefaultDenseLimit:
+		a.Class = ClassSmallDense
+	default:
+		a.Class = ClassHuge
+	}
+	return a
+}
+
+// Router maps circuits to methods.
+type Router struct {
+	// DenseLimit is the widest register routed to the dense engine; 0
+	// means DefaultDenseLimit.
+	DenseLimit int
+	// Force pins every circuit to one method (non-Auto); selection fails
+	// with an error when the forced method cannot run the circuit.
+	Force Method
+}
+
+// Default returns the stock router.
+func Default() Router { return Router{} }
+
+func (r Router) denseLimit() int {
+	if r.DenseLimit > 0 {
+		return r.DenseLimit
+	}
+	return DefaultDenseLimit
+}
+
+// Select chooses a method for a bound circuit using the circuit's own
+// width. Chips should use SelectWidth with their register width so a
+// narrow circuit on a wide chip routes like the chip (the pre-router
+// exact/surrogate split keyed on chip width).
+func (r Router) Select(c *circuit.Circuit) (Method, Analysis, error) {
+	return r.SelectWidth(c, c.NQubits)
+}
+
+// SelectWidth chooses a method for a bound circuit executing on a
+// register of the given width (≥ the circuit's own width).
+func (r Router) SelectWidth(c *circuit.Circuit, width int) (Method, Analysis, error) {
+	if width < c.NQubits {
+		width = c.NQubits
+	}
+	a := Analyze(c)
+	if r.Force != Auto {
+		if err := feasible(r.Force, a, width); err != nil {
+			return Auto, a, err
+		}
+		return r.Force, a, nil
+	}
+	switch {
+	case a.MidMeasure:
+		// Only the dense engine participates in mid-circuit collapse
+		// (qsim.RunTrajectory); no width fallback exists past its limit.
+		if width > qsim.MaxQubits {
+			return Auto, a, fmt.Errorf("route: mid-circuit measurement on %d qubits exceeds the dense limit %d", width, qsim.MaxQubits)
+		}
+		return Dense, a, nil
+	case a.Class == ClassClifford:
+		return Clifford, a, nil
+	case width <= r.denseLimit():
+		return Dense, a, nil
+	default:
+		return Product, a, nil
+	}
+}
+
+// feasible reports whether a forced method can run the analyzed circuit.
+func feasible(m Method, a Analysis, width int) error {
+	switch m {
+	case Dense:
+		if width > qsim.MaxQubits {
+			return fmt.Errorf("route: dense forced on %d qubits, limit %d", width, qsim.MaxQubits)
+		}
+	case Clifford:
+		if a.NonClifford > 0 {
+			return fmt.Errorf("route: clifford forced on a circuit with %d non-Clifford gates", a.NonClifford)
+		}
+		if width > tableau.MaxQubits {
+			return fmt.Errorf("route: clifford forced on %d qubits, limit %d", width, tableau.MaxQubits)
+		}
+	case Product:
+		if a.MidMeasure {
+			return fmt.Errorf("route: product engine cannot collapse mid-circuit measurements")
+		}
+	default:
+		return fmt.Errorf("route: cannot force method %v", m)
+	}
+	return nil
+}
+
+// NewSimulator constructs the engine for a resolved (non-Auto) method.
+func NewSimulator(m Method, n int) (engine.Simulator, error) {
+	switch m {
+	case Dense:
+		return engine.NewDense(n)
+	case Clifford:
+		return engine.NewClifford(n)
+	case Product:
+		return engine.NewProduct(n)
+	default:
+		return nil, fmt.Errorf("route: no engine for method %v", m)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"qtenon/internal/quantum"
 	"qtenon/internal/report"
 	"qtenon/internal/rocc"
+	"qtenon/internal/route"
 	"qtenon/internal/sched"
 	"qtenon/internal/sim"
 	"qtenon/internal/slt"
@@ -65,6 +66,9 @@ type Config struct {
 	// compilation — the transpilation step real hardware requires. Nil
 	// assumes all-to-all connectivity, the paper's implicit setting.
 	Coupling *mapper.Coupling
+	// Method pins the chip's simulation method (route.Dense/Clifford/
+	// Product); the zero value route.Auto keeps automatic routing.
+	Method route.Method
 }
 
 // DefaultConfig returns the paper's full Qtenon configuration on the
@@ -130,6 +134,9 @@ type System struct {
 	pulsesGen    int64
 	hostActivity sim.Time
 	commActivity sim.Time
+	// method is the simulation method the chip's router resolved on the
+	// most recent evaluation (route.Auto before the first one).
+	method route.Method
 
 	// tracer, when set, records per-resource spans on the virtual
 	// timeline (now advances by each evaluation's wall time).
@@ -171,10 +178,13 @@ type sysInstruments struct {
 	evaluations                         *metrics.Counter
 	shots                               *metrics.Counter
 	shotTime                            *metrics.Timer
+	// methods counts evaluations per routed simulation method, indexed
+	// by route.Method ("quantum.method.dense" etc.; Auto never fires).
+	methods [route.NumMethods]*metrics.Counter
 }
 
 func resolveSysInstruments(reg *metrics.Registry) sysInstruments {
-	return sysInstruments{
+	si := sysInstruments{
 		qSet:        reg.Counter("controller.instr.q_set"),
 		qUpdate:     reg.Counter("controller.instr.q_update"),
 		qGen:        reg.Counter("controller.instr.q_gen"),
@@ -186,6 +196,10 @@ func resolveSysInstruments(reg *metrics.Registry) sysInstruments {
 		shots:       reg.Counter("quantum.shots"),
 		shotTime:    reg.Timer("quantum.shot_time_ps"),
 	}
+	for m := route.Method(0); m < route.NumMethods; m++ {
+		si.methods[m] = reg.Counter("quantum.method." + m.String())
+	}
+	return si
 }
 
 // New builds a Qtenon system for the workload.
@@ -234,6 +248,7 @@ func New(cfg Config, w *vqa.Workload) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	quantum.ForceMethodOn(chip, cfg.Method)
 	busCfg := cfg.Bus
 	busCfg.Seed = cfg.Seed
 	bus, err := tilelink.NewBus(busCfg)
@@ -421,6 +436,10 @@ func (s *System) Evaluate(params []float64) (float64, error) {
 	s.m.qAcquire.Inc()
 	s.m.shots.Add(int64(s.cfg.Shots))
 	s.m.shotTime.Observe(int64(ex.ShotTime))
+	if m, ok := quantum.MethodOf(s.chip); ok {
+		s.method = m
+		s.m.methods[m].Inc()
+	}
 
 	k := 1
 	if s.cfg.Batching {
@@ -523,6 +542,10 @@ func (s *System) Now() sim.Time { return s.now }
 // (backend.RunOn overwrites it); Evaluations here counts Evaluate calls,
 // which agrees with the optimizer on a fresh instance.
 func (s *System) Result() report.RunResult {
+	var method string
+	if s.evals > 0 {
+		method = s.method.String()
+	}
 	return report.RunResult{
 		Breakdown:        s.breakdown,
 		Comm:             s.comm,
@@ -532,6 +555,7 @@ func (s *System) Result() report.RunResult {
 		CommActivity:     s.commActivity,
 		PulsesGenerated:  s.pulsesGen,
 		SLTHitRate:       s.bank.TotalStats().HitRate(),
+		Method:           method,
 	}
 }
 

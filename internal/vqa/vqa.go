@@ -31,14 +31,17 @@ const CostWindow = 64
 // Kind names a workload family.
 type Kind uint8
 
-// The three benchmark families.
+// The three benchmark families, plus the Clifford-only scaling family
+// (Stabilizer is not one of the paper's benchmarks; it exists to
+// exercise the tableau route past the dense window).
 const (
 	QAOA Kind = iota
 	VQE
 	QNN
+	Stabilizer
 )
 
-var kindNames = [...]string{"QAOA", "VQE", "QNN"}
+var kindNames = [...]string{"QAOA", "VQE", "QNN", "Stabilizer"}
 
 // String returns the family name.
 func (k Kind) String() string { return kindNames[k] }
@@ -275,6 +278,60 @@ func NewQNN(nqubits, layers int) (*Workload, error) {
 	}, nil
 }
 
+// NewStabilizer builds the Clifford-only scaling workload: the graph
+// state over RegularGraph — H⊗n then CZ on every edge, measured in the
+// Z basis — with the MaxCut objective over the same edges. The circuit
+// has zero parameters (there is nothing to optimize; every "iteration"
+// is a pure evaluation), and every gate is exactly Clifford, so the
+// router sends it to the stabilizer tableau at any width — this is the
+// workload that crosses the dense simulator's 24-qubit wall.
+func NewStabilizer(nqubits int) (*Workload, error) {
+	if nqubits < 2 {
+		return nil, fmt.Errorf("vqa: Stabilizer needs ≥2 qubits")
+	}
+	edges := RegularGraph(nqubits)
+	b := circuit.NewBuilder(nqubits)
+	for q := 0; q < nqubits; q++ {
+		b.H(q)
+	}
+	for _, e := range edges {
+		b.CZ(e[0], e[1])
+	}
+	b.MeasureAll()
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	ham := pauli.MaxCut(nqubits, edges, 1)
+	costEdges := edges
+	if nqubits > CostWindow {
+		costEdges = nil
+		for _, e := range edges {
+			if e[0] < CostWindow && e[1] < CostWindow {
+				costEdges = append(costEdges, e)
+			}
+		}
+	}
+	return &Workload{
+		Kind:    Stabilizer,
+		Name:    fmt.Sprintf("Stabilizer-%dq", nqubits),
+		Circuit: c,
+		Cost: func(outcomes []uint64) float64 {
+			if len(outcomes) == 0 {
+				return 0
+			}
+			var sum float64
+			for _, o := range outcomes {
+				sum -= float64(pauli.CutValue(costEdges, o))
+			}
+			return sum / float64(len(outcomes))
+		},
+		Hamiltonian:   ham,
+		InitialParams: []float64{},
+		Edges:         edges,
+	}, nil
+}
+
 // estimateDiagonal evaluates a Z-diagonal Hamiltonian on outcomes.
 func estimateDiagonal(h *pauli.Hamiltonian, outcomes []uint64) float64 {
 	if len(outcomes) == 0 {
@@ -297,6 +354,8 @@ func New(kind Kind, nqubits int) (*Workload, error) {
 		return NewVQE(nqubits, 3)
 	case QNN:
 		return NewQNN(nqubits, 2)
+	case Stabilizer:
+		return NewStabilizer(nqubits)
 	default:
 		return nil, fmt.Errorf("vqa: unknown workload kind %d", kind)
 	}
@@ -306,14 +365,20 @@ func New(kind Kind, nqubits int) (*Workload, error) {
 func Kinds() []Kind { return []Kind{QAOA, VQE, QNN} }
 
 // ExactCost returns the exact expectation of the workload's Z-diagonal
-// objective for a bound parameter vector, using the exact chip-side
-// distribution; it requires a small register. QNN has no Hamiltonian and
-// is evaluated via its Cost on exact probabilities elsewhere.
+// objective for a bound parameter vector. Clifford-only bound circuits
+// with a Z-diagonal Hamiltonian in the 64-qubit window evaluate on the
+// stabilizer tableau — exact at any register width; everything else
+// runs the dense statevector and requires a small register. QNN has no
+// Hamiltonian and is evaluated via its Cost on exact probabilities
+// elsewhere.
 func (w *Workload) ExactCost(params []float64) (float64, error) {
 	if w.Hamiltonian == nil {
 		return 0, fmt.Errorf("vqa: %s has no diagonal Hamiltonian", w.Name)
 	}
 	bound := w.Circuit.Bind(params)
+	if v, ok, err := exactClifford(bound, w.Hamiltonian); ok {
+		return v, err
+	}
 	st, err := runExact(bound)
 	if err != nil {
 		return 0, err
