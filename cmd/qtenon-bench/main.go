@@ -8,7 +8,7 @@
 //	qtenon-bench -quick          # CI-sized parameters
 //	qtenon-bench -list           # list experiment ids
 //	qtenon-bench -json out.json  # also emit machine-readable timings
-//	qtenon-bench -method dense   # pin the simulation engine (auto|dense|clifford|product)
+//	qtenon-bench -method dense   # pin the simulation engine (auto|dense|clifford|product|sharded)
 package main
 
 import (
@@ -42,6 +42,16 @@ type jsonReport struct {
 type jsonExperiment struct {
 	Name   string  `json:"name"`
 	WallMS float64 `json:"wall_ms"`
+	// NsPerOp is the wall time divided by the unique runs the experiment
+	// executed (cache misses attributed to it); AllocsPerOp is the heap
+	// allocation count over the same denominator. Together they make the
+	// bench trajectory comparable across PRs even as experiments grow
+	// more (or fewer) cached sweep points.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Method is the engine pin the experiment ran under ("auto" unless
+	// -method forced one).
+	Method string `json:"method"`
 }
 
 func main() {
@@ -53,7 +63,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		jsonOut    = flag.String("json", "", "write per-experiment wall-clock timings as JSON to this file")
-		method     = flag.String("method", "auto", "simulation engine: auto routes per circuit; dense|clifford|product pin one")
+		method     = flag.String("method", "auto", "simulation engine: auto routes per circuit; dense|clifford|product|sharded pin one")
 	)
 	flag.Parse()
 	forced, err := route.ParseMethod(*method)
@@ -141,13 +151,16 @@ func main() {
 		names = strings.Split(*exp, ",")
 	}
 	rep := jsonReport{
-		Schema:     "qtenon-bench/1",
+		Schema:     "qtenon-bench/2",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
+		_, missesBefore := bench.CacheStats()
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		sw := wallclock.Start()
 		out, err := bench.Run(name, sc)
 		if err != nil {
@@ -155,11 +168,23 @@ func main() {
 			os.Exit(1)
 		}
 		elapsed := sw.Elapsed()
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		_, missesAfter := bench.CacheStats()
+		// Ops = unique runs this experiment executed. An experiment fully
+		// served from cache counts as one op so the ratios stay finite.
+		ops := missesAfter - missesBefore
+		if ops < 1 {
+			ops = 1
+		}
 		fmt.Print(out)
 		fmt.Printf("[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
 		rep.Experiments = append(rep.Experiments, jsonExperiment{
-			Name:   name,
-			WallMS: float64(elapsed) / float64(time.Millisecond),
+			Name:        name,
+			WallMS:      float64(elapsed) / float64(time.Millisecond),
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+			AllocsPerOp: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ops),
+			Method:      sc.Method.String(),
 		})
 	}
 	fmt.Println(bench.CacheStatsLine())

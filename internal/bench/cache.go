@@ -103,11 +103,16 @@ func qtenonKey(cfg system.Config, kind vqa.Kind, nq int, spsa bool, o opt.Option
 	}
 	flat := cfg
 	flat.Coupling = nil
-	return fmt.Sprintf("qtenon|cfg=%+v|coupling=%s|kind=%d|nq=%d|spsa=%t|opt=%+v", flat, coup, kind, nq, spsa, o)
+	// Method gets its own component: the original keys predate method
+	// routing, and a forced-method run must never be served a cached
+	// result that executed on a different engine.
+	return fmt.Sprintf("qtenon|cfg=%+v|coupling=%s|method=%s|kind=%d|nq=%d|spsa=%t|opt=%+v",
+		flat, coup, cfg.Method, kind, nq, spsa, o)
 }
 
 // baselineKey renders a decoupled-baseline run configuration as a
 // content key (baseline.Config is a pure value struct).
 func baselineKey(cfg baseline.Config, kind vqa.Kind, nq int, spsa bool, o opt.Options) string {
-	return fmt.Sprintf("baseline|cfg=%+v|kind=%d|nq=%d|spsa=%t|opt=%+v", cfg, kind, nq, spsa, o)
+	return fmt.Sprintf("baseline|cfg=%+v|method=%s|kind=%d|nq=%d|spsa=%t|opt=%+v",
+		cfg, cfg.Method, kind, nq, spsa, o)
 }

@@ -6,8 +6,10 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"qtenon/internal/baseline"
 	"qtenon/internal/host"
 	"qtenon/internal/report"
+	"qtenon/internal/route"
 	"qtenon/internal/system"
 	"qtenon/internal/vqa"
 )
@@ -84,6 +86,8 @@ func TestRunCacheKeysDiscriminate(t *testing.T) {
 		func(c *system.Config) { c.PGUs++ },
 		func(c *system.Config) { c.Noise.Readout = 0.01 },
 		func(c *system.Config) { c.Core = host.Rocket() },
+		func(c *system.Config) { c.Method = route.Dense },
+		func(c *system.Config) { c.Method = route.Sharded },
 	} {
 		c := base
 		mut(&c)
@@ -105,6 +109,40 @@ func TestRunCacheKeysDiscriminate(t *testing.T) {
 	}
 	if k := qtenonKey(base, vqa.VQE, 8, false, o); seen[k] == -1 {
 		t.Fatal("algorithm missing from key")
+	}
+}
+
+// TestMethodPinnedRunsDoNotShareCache is the end-to-end shape of the
+// original bug: the run-memoization keys predate method routing, so two
+// runs differing only in the pinned engine could be served one cached
+// result. They must execute as two unique runs.
+func TestMethodPinnedRunsDoNotShareCache(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	var results [2]report.RunResult
+	for i, sc := range [2]Scale{
+		{Quick: true},
+		{Quick: true, Method: route.Dense},
+	} {
+		res, err := runQtenon(vqa.VQE, 4, host.BoomL(), true, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	if _, misses := CacheStats(); misses != 2 {
+		t.Fatalf("unique runs executed = %d, want 2 (auto and forced-dense must not share a key)", misses)
+	}
+	if results[1].Method != "dense" {
+		t.Fatalf("forced-dense run reported method %q", results[1].Method)
+	}
+	bk := func(m route.Method) string {
+		cfg := baseline.DefaultConfig()
+		cfg.Method = m
+		return baselineKey(cfg, vqa.VQE, 8, true, QuickScale.options())
+	}
+	if bk(route.Auto) == bk(route.Product) {
+		t.Error("baselineKey ignores Config.Method")
 	}
 }
 

@@ -24,6 +24,7 @@ var Experiments = map[string]Generator{
 	"fig17":     Figure17,
 	"ablations": Ablations,
 	"router":    Router,
+	"sharded":   Sharded,
 }
 
 // Names lists experiment ids in a stable order.

@@ -1,7 +1,8 @@
 // Package engine defines the Simulator interface every simulation
 // method implements — the dense SoA statevector (internal/qsim), the
-// CHP stabilizer tableau (internal/qsim/tableau), and the mean-field
-// product surrogate (internal/qsim/product) — so quantum.Chip, backend,
+// CHP stabilizer tableau (internal/qsim/tableau), the mean-field
+// product surrogate (internal/qsim/product), and the sharded dense
+// statevector (internal/qsim/shard) — so quantum.Chip, backend,
 // and vqa can request "a simulator" from the method router
 // (internal/route) instead of constructing qsim.State directly
 // (DESIGN.md §12).
@@ -20,6 +21,7 @@ import (
 	"qtenon/internal/circuit"
 	"qtenon/internal/qsim"
 	"qtenon/internal/qsim/product"
+	"qtenon/internal/qsim/shard"
 	"qtenon/internal/qsim/tableau"
 )
 
@@ -179,9 +181,64 @@ func (p *Product) Reset() { p.ps.Reset() }
 // Clone implements Simulator.
 func (p *Product) Clone() Simulator { return &Product{ps: p.ps.Clone()} }
 
+// Sharded wraps the chunked statevector (internal/qsim/shard): dense-
+// exact amplitudes past the contiguous engine's allocation wall, capped
+// at shard.MaxQubits (28).
+type Sharded struct {
+	st *shard.State
+}
+
+// NewSharded allocates a sharded statevector engine.
+func NewSharded(n int) (*Sharded, error) {
+	st, err := shard.New(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{st: st}, nil
+}
+
+// ShardState exposes the concrete sharded statevector.
+func (s *Sharded) ShardState() *shard.State { return s.st }
+
+// NQubits implements Simulator.
+func (s *Sharded) NQubits() int { return s.st.NQubits() }
+
+// Apply implements Simulator.
+func (s *Sharded) Apply(g circuit.Gate) { s.st.Apply(g) }
+
+// Run implements Simulator. A width mismatch reallocates, mirroring
+// qsim.RunReuse; the common chip path always matches and reuses the
+// shard arena.
+func (s *Sharded) Run(c *circuit.Circuit) error {
+	if c.NQubits != s.st.NQubits() {
+		st, err := shard.New(c.NQubits)
+		if err != nil {
+			return err
+		}
+		s.st = st
+	}
+	return s.st.Run(c)
+}
+
+// Probabilities implements Simulator.
+func (s *Sharded) Probabilities() []float64 { return s.st.Probabilities() }
+
+// Sample implements Simulator.
+func (s *Sharded) Sample(shots int, rng *rand.Rand) []uint64 { return s.st.Sample(shots, rng) }
+
+// ZExpectation implements Simulator.
+func (s *Sharded) ZExpectation(q int) float64 { return s.st.ExpectationZ(q) }
+
+// Reset implements Simulator.
+func (s *Sharded) Reset() { s.st.Reset() }
+
+// Clone implements Simulator.
+func (s *Sharded) Clone() Simulator { return &Sharded{st: s.st.Clone()} }
+
 // Interface conformance.
 var (
 	_ Simulator = (*Dense)(nil)
 	_ Simulator = (*Clifford)(nil)
 	_ Simulator = (*Product)(nil)
+	_ Simulator = (*Sharded)(nil)
 )

@@ -6,6 +6,7 @@ import (
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/qsim"
+	"qtenon/internal/qsim/shard"
 )
 
 func build(t *testing.T, m Method, n int) Simulator {
@@ -21,6 +22,8 @@ func build(t *testing.T, m Method, n int) Simulator {
 		s, err = NewClifford(n)
 	case methodProduct:
 		s, err = NewProduct(n)
+	case methodSharded:
+		s, err = NewSharded(n)
 	}
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +31,7 @@ func build(t *testing.T, m Method, n int) Simulator {
 	return s
 }
 
-// Method is test-local shorthand for the three concrete engines; the
+// Method is test-local shorthand for the four concrete engines; the
 // routing enum lives in internal/route to keep engine dependency-light.
 type Method int
 
@@ -36,10 +39,11 @@ const (
 	methodDense Method = iota
 	methodClifford
 	methodProduct
+	methodSharded
 )
 
 func (m Method) String() string {
-	return [...]string{"dense", "clifford", "product"}[m]
+	return [...]string{"dense", "clifford", "product", "sharded"}[m]
 }
 
 // TestConformance runs every engine through the shared Simulator surface
@@ -48,7 +52,7 @@ func (m Method) String() string {
 // deterministic state, reusable Run, seed-deterministic Sample.
 func TestConformance(t *testing.T) {
 	c := circuit.NewBuilder(3).X(0).X(2).MeasureAll().MustBuild()
-	for _, m := range []Method{methodDense, methodClifford, methodProduct} {
+	for _, m := range []Method{methodDense, methodClifford, methodProduct, methodSharded} {
 		t.Run(m.String(), func(t *testing.T) {
 			s := build(t, m, 3)
 			if s.NQubits() != 3 {
@@ -145,5 +149,39 @@ func TestConstructorValidation(t *testing.T) {
 	}
 	if _, err := NewProduct(0); err == nil {
 		t.Error("NewProduct(0)")
+	}
+	if _, err := NewSharded(0); err == nil {
+		t.Error("NewSharded(0)")
+	}
+	if _, err := NewSharded(shard.MaxQubits + 1); err == nil {
+		t.Error("NewSharded past shard.MaxQubits")
+	}
+}
+
+// TestShardedRunMatchesQsim pins Sharded.Run to the dense numeric
+// stream through the adapter layer: same fused program, same kernels,
+// bit-for-bit equal probabilities (the deep equivalence fuzz lives in
+// internal/qsim/shard).
+func TestShardedRunMatchesQsim(t *testing.T) {
+	c := circuit.NewBuilder(4).
+		H(0).RY(1, 0.37).CX(0, 1).RZ(2, 1.1).RZZ(2, 3, 0.5).
+		MeasureAll().MustBuild()
+	s, err := NewSharded(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	ref := qsim.NewState(4)
+	if _, err := qsim.RunReuse(ref, c); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Probabilities()
+	want := ref.Probabilities()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("probs diverge at %d: %g vs %g", i, got[i], want[i])
+		}
 	}
 }

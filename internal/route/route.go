@@ -4,17 +4,22 @@
 // analyzer classifies a bound circuit by its gate content and width;
 // the Router maps the class to one of three engines:
 //
-//   - dense: the SoA statevector (exact, ≤ qsim.MaxQubits qubits)
+//   - dense: the contiguous SoA statevector (exact, ≤ the router's
+//     DenseLimit qubits)
+//   - sharded: the chunked statevector (exact, dense-equivalent
+//     bit-for-bit, ≤ shard.MaxQubits qubits) — ClassHuge's dense-exact
+//     window past the contiguous limit
 //   - clifford: the CHP stabilizer tableau (exact, Clifford-only,
 //     thousands of qubits)
 //   - product: the mean-field surrogate (approximate, O(n), any width)
 //
 // The routing rules preserve the pre-router behavior bit-for-bit on
-// every non-Clifford workload: chips at or below the dense limit route
-// dense with an unchanged RNG stream, wider chips route product. Fully
-// Clifford circuits route to the tableau at any width — the new
-// capability. Mid-circuit measurement forces the dense engine (the only
-// one wired for collapse inside system trajectories).
+// every dense-window workload: chips at or below the dense limit route
+// dense with an unchanged RNG stream. Fully Clifford circuits route to
+// the tableau at any width; generic circuits past the dense limit route
+// to the sharded engine up to shard.MaxQubits and to the product
+// surrogate beyond. Mid-circuit measurement forces the dense engine
+// (the only one wired for collapse inside system trajectories).
 package route
 
 import (
@@ -23,6 +28,7 @@ import (
 	"qtenon/internal/circuit"
 	"qtenon/internal/qsim"
 	"qtenon/internal/qsim/engine"
+	"qtenon/internal/qsim/shard"
 	"qtenon/internal/qsim/tableau"
 )
 
@@ -35,11 +41,13 @@ const (
 	Dense
 	Clifford
 	Product
+	Sharded
 	NumMethods // array-sizing sentinel, not a method
 )
 
 var methodNames = [NumMethods]string{
 	Auto: "auto", Dense: "dense", Clifford: "clifford", Product: "product",
+	Sharded: "sharded",
 }
 
 // String returns the CLI/metrics name of the method.
@@ -57,7 +65,7 @@ func ParseMethod(name string) (Method, error) {
 			return Method(m), nil
 		}
 	}
-	return Auto, fmt.Errorf("route: unknown method %q (want auto|dense|clifford|product)", name)
+	return Auto, fmt.Errorf("route: unknown method %q (want auto|dense|clifford|product|sharded)", name)
 }
 
 // Class is the analyzer's circuit classification.
@@ -95,9 +103,17 @@ func (c Class) String() string {
 }
 
 // DefaultDenseLimit is the widest register the router sends to the
-// dense engine — quantum.ExactLimit's pre-router value, kept here so
-// the split survives the Chip refactor.
+// contiguous dense engine — quantum.ExactLimit's pre-router value, kept
+// here so the split survives the Chip refactor. Generic circuits past
+// it route to the sharded engine (up to DefaultShardedLimit), then the
+// product surrogate.
 const DefaultDenseLimit = 16
+
+// DefaultShardedLimit is the widest register the router sends to the
+// sharded dense engine: the effective dense-exact window is ~28 qubits
+// (4 GiB of amplitudes across shards) rather than the contiguous
+// engine's monolithic-allocation wall.
+const DefaultShardedLimit = shard.MaxQubits
 
 // Analysis is what the analyzer learned about one circuit.
 type Analysis struct {
@@ -149,9 +165,12 @@ func Analyze(c *circuit.Circuit) Analysis {
 
 // Router maps circuits to methods.
 type Router struct {
-	// DenseLimit is the widest register routed to the dense engine; 0
-	// means DefaultDenseLimit.
+	// DenseLimit is the widest register routed to the contiguous dense
+	// engine; 0 means DefaultDenseLimit.
 	DenseLimit int
+	// ShardedLimit is the widest register routed to the sharded dense
+	// engine; 0 means DefaultShardedLimit.
+	ShardedLimit int
 	// Force pins every circuit to one method (non-Auto); selection fails
 	// with an error when the forced method cannot run the circuit.
 	Force Method
@@ -165,6 +184,13 @@ func (r Router) denseLimit() int {
 		return r.DenseLimit
 	}
 	return DefaultDenseLimit
+}
+
+func (r Router) shardedLimit() int {
+	if r.ShardedLimit > 0 {
+		return r.ShardedLimit
+	}
+	return DefaultShardedLimit
 }
 
 // Select chooses a method for a bound circuit using the circuit's own
@@ -183,7 +209,7 @@ func (r Router) SelectWidth(c *circuit.Circuit, width int) (Method, Analysis, er
 	}
 	a := Analyze(c)
 	if r.Force != Auto {
-		if err := feasible(r.Force, a, width); err != nil {
+		if err := r.feasible(r.Force, a, width); err != nil {
 			return Auto, a, err
 		}
 		return r.Force, a, nil
@@ -200,17 +226,32 @@ func (r Router) SelectWidth(c *circuit.Circuit, width int) (Method, Analysis, er
 		return Clifford, a, nil
 	case width <= r.denseLimit():
 		return Dense, a, nil
+	case width <= r.shardedLimit():
+		// ClassHuge (and wide Clifford-dominated) circuits stay
+		// dense-exact on the sharded engine up to its window.
+		return Sharded, a, nil
 	default:
 		return Product, a, nil
 	}
 }
 
-// feasible reports whether a forced method can run the analyzed circuit.
-func feasible(m Method, a Analysis, width int) error {
+// feasible reports whether a forced method can run the analyzed
+// circuit. Forcing dense pins the *contiguous* engine and respects the
+// router's contiguous window: past DenseLimit the dense-exact path is
+// the sharded engine, so a forced-dense 24-qubit run fails loudly
+// rather than silently allocating a monolithic statevector the router
+// would never choose (mid-circuit measurement keeps the wider
+// qsim.MaxQubits allowance — there dense is the only collapse-capable
+// engine, exactly as in automatic selection).
+func (r Router) feasible(m Method, a Analysis, width int) error {
 	switch m {
 	case Dense:
-		if width > qsim.MaxQubits {
-			return fmt.Errorf("route: dense forced on %d qubits, limit %d", width, qsim.MaxQubits)
+		limit := r.denseLimit()
+		if a.MidMeasure {
+			limit = qsim.MaxQubits
+		}
+		if width > limit {
+			return fmt.Errorf("route: dense forced on %d qubits, contiguous limit %d", width, limit)
 		}
 	case Clifford:
 		if a.NonClifford > 0 {
@@ -218,6 +259,13 @@ func feasible(m Method, a Analysis, width int) error {
 		}
 		if width > tableau.MaxQubits {
 			return fmt.Errorf("route: clifford forced on %d qubits, limit %d", width, tableau.MaxQubits)
+		}
+	case Sharded:
+		if a.MidMeasure {
+			return fmt.Errorf("route: sharded engine cannot collapse mid-circuit measurements")
+		}
+		if width > shard.MaxQubits {
+			return fmt.Errorf("route: sharded forced on %d qubits, limit %d", width, shard.MaxQubits)
 		}
 	case Product:
 		if a.MidMeasure {
@@ -238,6 +286,8 @@ func NewSimulator(m Method, n int) (engine.Simulator, error) {
 		return engine.NewClifford(n)
 	case Product:
 		return engine.NewProduct(n)
+	case Sharded:
+		return engine.NewSharded(n)
 	default:
 		return nil, fmt.Errorf("route: no engine for method %v", m)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"qtenon/internal/circuit"
 	"qtenon/internal/qsim"
+	"qtenon/internal/qsim/shard"
 )
 
 func sel(t *testing.T, r Router, c *circuit.Circuit) (Method, Analysis) {
@@ -184,6 +185,77 @@ func TestSelectWidthUsesChipWidth(t *testing.T) {
 	}
 }
 
+// ClassHuge → sharded: generic circuits past the contiguous dense
+// window stay dense-exact on the sharded engine up to shard.MaxQubits,
+// and hand off to the product surrogate beyond it.
+func TestGenericWideRoutesSharded(t *testing.T) {
+	wide := func(n int) *circuit.Circuit {
+		b := circuit.NewBuilder(n)
+		for q := 0; q < n; q++ {
+			b.RY(q, 0.1*float64(q+1))
+		}
+		return b.MeasureAll().MustBuild()
+	}
+	for _, n := range []int{DefaultDenseLimit + 1, 24, shard.MaxQubits} {
+		m, a := sel(t, Default(), wide(n))
+		if m != Sharded {
+			t.Fatalf("%dq generic routed %v, want sharded", n, m)
+		}
+		if n > 24 && a.Class != ClassHuge {
+			t.Fatalf("%dq class %v, want huge", n, a.Class)
+		}
+	}
+	if m, _ := sel(t, Default(), wide(shard.MaxQubits+1)); m != Product {
+		t.Fatalf("%dq generic routed %v, want product", shard.MaxQubits+1, m)
+	}
+	// The chip-width rule applies to the sharded window too: a narrow
+	// generic circuit on a 24-qubit chip routes sharded.
+	narrow := circuit.NewBuilder(4).RY(0, 0.3).MeasureAll().MustBuild()
+	m, _, err := Default().SelectWidth(narrow, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != Sharded {
+		t.Fatalf("narrow circuit on 24q chip routed %v, want sharded", m)
+	}
+}
+
+// Forcing the sharded engine obeys its own window and the no-collapse
+// restriction; forcing dense past the contiguous window errors even
+// though the monolithic statevector could technically allocate (the
+// dense-exact path there is the sharded engine).
+func TestShardedForceFeasibility(t *testing.T) {
+	generic24 := func() *circuit.Circuit {
+		b := circuit.NewBuilder(24)
+		for q := 0; q < 24; q++ {
+			b.RY(q, 0.2)
+		}
+		return b.MeasureAll().MustBuild()
+	}()
+	if m, _, err := (Router{Force: Sharded}).Select(generic24); err != nil || m != Sharded {
+		t.Errorf("force sharded on 24q = (%v,%v)", m, err)
+	}
+	if _, _, err := (Router{Force: Dense}).Select(generic24); err == nil {
+		t.Error("forced dense on 24 qubits (past the contiguous window) did not error")
+	}
+	tooWide := circuit.NewBuilder(shard.MaxQubits+2).RY(0, 0.3).MeasureAll().MustBuild()
+	if _, _, err := (Router{Force: Sharded}).Select(tooWide); err == nil {
+		t.Error("forced sharded past shard.MaxQubits did not error")
+	}
+	mid := circuit.NewBuilder(4)
+	mid.H(0).Measure(0).X(0)
+	if _, _, err := (Router{Force: Sharded}).Select(mid.MustBuild()); err == nil {
+		t.Error("forced sharded on a mid-measure circuit did not error")
+	}
+	// Mid-circuit measurement keeps forced dense's wider allowance: it
+	// is the only collapse-capable engine, exactly as in auto selection.
+	mid20 := circuit.NewBuilder(20)
+	mid20.H(0).Measure(0).X(0)
+	if m, _, err := (Router{Force: Dense}).Select(mid20.MustBuild()); err != nil || m != Dense {
+		t.Errorf("forced dense on 20q mid-measure = (%v,%v), want dense", m, err)
+	}
+}
+
 func TestForceFeasibility(t *testing.T) {
 	clifford := circuit.NewBuilder(4).H(0).CX(0, 1).MeasureAll().MustBuild()
 	generic := circuit.NewBuilder(4).RY(0, 0.3).MeasureAll().MustBuild()
@@ -204,7 +276,7 @@ func TestForceFeasibility(t *testing.T) {
 }
 
 func TestNewSimulator(t *testing.T) {
-	for _, m := range []Method{Dense, Clifford, Product} {
+	for _, m := range []Method{Dense, Clifford, Product, Sharded} {
 		s, err := NewSimulator(m, 4)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
