@@ -1,9 +1,10 @@
 // Command qtenon-lint runs the repository's invariant analyzers
 // (internal/lint) over Go packages: determinism, scratcharena,
 // metricsdiscipline, floatcompare, eventretention, parsafety, unitflow,
-// deepscratch. See DESIGN.md §9–§10 for the invariant catalogue, the
-// interprocedural summaries, and the //lint:ignore suppression
-// directive.
+// deepscratch, hotpath, bitexact, shardsafety, routepurity. See
+// DESIGN.md §9–§10 for the invariant catalogue, the interprocedural
+// summaries, and the //lint:ignore suppression directive, and §14 for
+// the v3 allocation/bit-exactness/partition/purity analyzers.
 //
 // Usage:
 //
@@ -111,16 +112,9 @@ func main() {
 	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
-		}
 		out := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
-			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			out = append(out, newJSONDiag(moduleDir, d))
 		}
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "qtenon-lint: %v\n", err)
@@ -142,6 +136,40 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the stable machine-readable diagnostic schema. Field
+// names are part of the CLI contract (pinned by TestJSONSchema); add
+// fields, never rename or remove them. File paths are module-relative
+// when the file lives inside the module, so output is stable across
+// checkouts.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// SuggestedIgnore is a ready-to-edit suppression directive for this
+	// diagnostic, with the DESIGN.md section the reason must cite.
+	SuggestedIgnore string `json:"suggested_ignore,omitempty"`
+}
+
+func newJSONDiag(moduleDir string, d lint.Diagnostic) jsonDiag {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	jd := jsonDiag{
+		File:     file,
+		Line:     d.Pos.Line,
+		Column:   d.Pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+	if a := lint.ByName(d.Analyzer); a != nil && a.Design != "" {
+		jd.SuggestedIgnore = fmt.Sprintf("//lint:ignore %s <why this site is exempt> (DESIGN.md %s)", a.Name, a.Design)
+	}
+	return jd
 }
 
 // githubAnnotation renders one diagnostic as a GitHub Actions workflow

@@ -24,9 +24,10 @@ import (
 // the recycling chain and exempt, as are the bodies of scratch APIs
 // themselves.
 var DeepScratch = &Analyzer{
-	Name: "deepscratch",
-	Doc:  "flag scratch buffers passed to callees whose summaries retain them",
-	Run:  runDeepScratch,
+	Name:   "deepscratch",
+	Design: "§8, §10",
+	Doc:    "flag scratch buffers passed to callees whose summaries retain them",
+	Run:    runDeepScratch,
 }
 
 func runDeepScratch(pass *Pass) error {

@@ -37,9 +37,10 @@ var forbiddenTimeFuncs = map[string]bool{
 //     or keep the loop body order-insensitive (integer accumulation, map
 //     inserts/deletes, or collect-then-sort).
 var Determinism = &Analyzer{
-	Name: "determinism",
-	Doc:  "forbid wall-clock reads, unseeded global RNG streams, and order-sensitive map iteration",
-	Run:  runDeterminism,
+	Name:   "determinism",
+	Design: "§9",
+	Doc:    "forbid wall-clock reads, unseeded global RNG streams, and order-sensitive map iteration",
+	Run:    runDeterminism,
 }
 
 func runDeterminism(pass *Pass) error {

@@ -40,7 +40,15 @@ func TestDirectiveReasonsCiteDesign(t *testing.T) {
 		return strings.Contains(string(design), "\n## "+major+".")
 	}
 
+	// Every live directive must name real analyzers: a typo'd name
+	// suppresses nothing and rots silently, so the audit catches it.
+	validNames := map[string]bool{"lintdirective": true}
+	for _, a := range lint.All() {
+		validNames[a.Name] = true
+	}
+
 	found := 0
+	visitedGoFiles := map[string]int{} // top-level dir → .go files walked
 	err = filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -55,6 +63,10 @@ func TestDirectiveReasonsCiteDesign(t *testing.T) {
 		}
 		if !strings.HasSuffix(path, ".go") {
 			return nil
+		}
+		if rel, err := filepath.Rel(moduleDir, path); err == nil {
+			top, _, _ := strings.Cut(rel, string(filepath.Separator))
+			visitedGoFiles[top]++
 		}
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -75,6 +87,13 @@ func TestDirectiveReasonsCiteDesign(t *testing.T) {
 				t.Errorf("%s: directive has no reason", where)
 				continue
 			}
+			names := strings.TrimSpace(fields[1])
+			for _, n := range strings.Split(names, ",") {
+				if !validNames[strings.TrimSpace(n)] {
+					t.Errorf("%s: directive names analyzer %q, which is not in the suite — the suppression is inert", where, strings.TrimSpace(n))
+				}
+			}
+
 			reason := fields[2]
 			m := sectionRef.FindStringSubmatch(reason)
 			if m == nil {
@@ -92,5 +111,14 @@ func TestDirectiveReasonsCiteDesign(t *testing.T) {
 	}
 	if found == 0 {
 		t.Fatal("walked the module without finding any //lint:ignore directive; the known suppression in internal/qsim/fusion.go should exist — did the audit's file walk break?")
+	}
+
+	// Coverage guard: the audit is only worth anything if the walk
+	// actually reaches the whole module. A refactor that narrows the
+	// walk to internal/ would leave cmd/ and examples/ ungoverned.
+	for _, top := range []string{"cmd", "examples", "internal"} {
+		if visitedGoFiles[top] == 0 {
+			t.Errorf("audit walk visited no .go files under %s/ — the directive audit no longer covers the full module", top)
+		}
 	}
 }

@@ -28,9 +28,10 @@ var schedulingMethods = map[string]bool{
 //     whatever evaluation overwrote it (the leak class the engine's
 //     finalizer test pins).
 var EventRetention = &Analyzer{
-	Name: "eventretention",
-	Doc:  "flag scheduled sim.Engine closures that capture loop variables or scratch",
-	Run:  runEventRetention,
+	Name:   "eventretention",
+	Design: "§7, §9",
+	Doc:    "flag scheduled sim.Engine closures that capture loop variables or scratch",
+	Run:    runEventRetention,
 }
 
 func runEventRetention(pass *Pass) error {

@@ -27,9 +27,10 @@ var floatCompareApproved = map[string]bool{
 // The self-comparison NaN idiom (x != x), constant-only comparisons,
 // and the bodies of approved tolerance helpers are exempt.
 var FloatCompare = &Analyzer{
-	Name: "floatcompare",
-	Doc:  "flag ==/!= on floating-point or complex values outside tolerance helpers",
-	Run:  runFloatCompare,
+	Name:   "floatcompare",
+	Design: "§9",
+	Doc:    "flag ==/!= on floating-point or complex values outside tolerance helpers",
+	Run:    runFloatCompare,
 }
 
 func runFloatCompare(pass *Pass) error {

@@ -45,6 +45,14 @@ type Program struct {
 	infos     map[*types.Func]*FuncInfo
 	order     []*FuncInfo // deterministic: sorted by (package path, position)
 	summaries map[*types.Func]*FuncSummary
+	// byName maps types.Func.FullName() to the source-checked (canonical)
+	// object. Module packages are loaded with export data present, so a
+	// callee referenced from another package is a *different* types.Func
+	// than the one registered when its defining package was checked from
+	// source; FullName (which renders receiver types with full package
+	// paths) bridges the two identities so summaries resolve
+	// cross-package.
+	byName map[string]*types.Func
 }
 
 // FuncInfo ties a declared function to its syntax and package.
@@ -80,6 +88,43 @@ type FuncSummary struct {
 
 	paramDomain  []Domain // receiver-first, like the bitsets
 	resultDomain Domain   // domain of the first result, when int-typed
+
+	// v3 dimensions (DESIGN.md §14). Each is a set-once fact holding a
+	// rendered "file.go:line: what" description of the first witness, ""
+	// while unproven; monotone like the bitsets, so the fixpoint
+	// propagates them transitively through the call graph.
+	allocSite  string // first heap-allocation site (or call to a non-alloc-free callee)
+	globalSite string // first write landing in package-level state
+	seamSite   string // first call into a global-effect seam (rng/wallclock/metrics, time, math/rand)
+}
+
+// AllocFree reports whether the function is proven free of steady-state
+// heap allocation, transitively through its in-program callees. A nil
+// summary is NOT alloc-free: for allocation the optimistic-inert stance
+// inverts — an unknown callee may allocate — so hotpath consumers must
+// go through calleeAllocSite, which consults the curated allowlists.
+func (s *FuncSummary) AllocFree() bool { return s != nil && s.allocSite == "" }
+
+// AllocSite describes the first allocation witness ("" when alloc-free).
+func (s *FuncSummary) AllocSite() string { return s.allocSite }
+
+// WritesGlobal reports whether the function (transitively) stores to
+// package-level state — the write-target dimension's "escapes every
+// partition" bucket consumed by shardsafety and routepurity.
+func (s *FuncSummary) WritesGlobal() bool { return s != nil && s.globalSite != "" }
+
+// GlobalWriteSite describes the first package-level write witness.
+func (s *FuncSummary) GlobalWriteSite() string { return s.globalSite }
+
+// SeamSite describes the function's first (transitive) call into a
+// global-effect seam — internal/rng, internal/wallclock,
+// internal/metrics, time.Now, or a math/rand package-level stream —
+// "" when it touches none. Consumed by routepurity.
+func (s *FuncSummary) SeamSite() string {
+	if s == nil {
+		return ""
+	}
+	return s.seamSite
 }
 
 // argIndex maps a call argument position to the summary's receiver-first
@@ -195,6 +240,7 @@ func NewProgram(pkgs []*Package) *Program {
 		Pkgs:      pkgs,
 		infos:     map[*types.Func]*FuncInfo{},
 		summaries: map[*types.Func]*FuncSummary{},
+		byName:    map[string]*types.Func{},
 	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -209,6 +255,7 @@ func NewProgram(pkgs []*Package) *Program {
 				}
 				fi := &FuncInfo{Func: obj, Decl: fd, Pkg: pkg}
 				p.infos[obj] = fi
+				p.byName[obj.FullName()] = obj
 				p.order = append(p.order, fi)
 			}
 		}
@@ -251,7 +298,20 @@ func (p *Program) Summary(f *types.Func) *FuncSummary {
 	if inertFuncs[qualifiedName(f)] {
 		return nil
 	}
-	return p.summaries[f]
+	return p.summaries[p.canonical(f)]
+}
+
+// canonical resolves f — possibly an export-data identity seen from an
+// importing package — to the source-checked object the summary maps are
+// keyed by.
+func (p *Program) canonical(f *types.Func) *types.Func {
+	if _, ok := p.infos[f]; ok {
+		return f
+	}
+	if c, ok := p.byName[f.FullName()]; ok {
+		return c
+	}
+	return f
 }
 
 // Info returns the declaration info for f, or nil.
@@ -262,7 +322,7 @@ func (p *Program) Info(f *types.Func) *FuncInfo {
 	if o := f.Origin(); o != nil {
 		f = o
 	}
-	return p.infos[f]
+	return p.infos[p.canonical(f)]
 }
 
 func newSummary(f *types.Func) *FuncSummary {
@@ -422,6 +482,9 @@ func summarize(p *Program, fi *FuncInfo) bool {
 		}
 	}
 	if summarizeDomains(p, fi, s.sum) {
+		grew = true
+	}
+	if summarizeV3(p, fi, s.sum) {
 		grew = true
 	}
 	return grew

@@ -23,9 +23,10 @@ var instrumentTypes = map[string]bool{
 // literals (metrics.Counter{}, &metrics.Timer{…}), new(metrics.Gauge),
 // and value-typed instrument variables or struct fields.
 var MetricsDiscipline = &Analyzer{
-	Name: "metricsdiscipline",
-	Doc:  "require metrics instruments to be obtained from a Registry, never raw literals",
-	Run:  runMetricsDiscipline,
+	Name:   "metricsdiscipline",
+	Design: "§7, §9",
+	Doc:    "require metrics instruments to be obtained from a Registry, never raw literals",
+	Run:    runMetricsDiscipline,
 }
 
 func runMetricsDiscipline(pass *Pass) error {

@@ -1,10 +1,7 @@
 package lint
 
 import (
-	"fmt"
 	"go/ast"
-	"go/token"
-	"go/types"
 	"strings"
 )
 
@@ -35,11 +32,17 @@ var parExecutors = map[string]bool{
 // flagged unless the argument is sliced/indexed down to a partition
 // (fill(buf[lo:hi], …)) or the callee is steered by a partition index
 // through another argument (set(out, i, v)).
+//
+// The index-partition machinery itself lives in partitionScope
+// (partition.go), shared with shardsafety's stricter shard dialect.
 var ParSafety = &Analyzer{
-	Name: "parsafety",
-	Doc:  "flag concurrent closures writing non-index-partitioned captured state",
-	Run:  runParSafety,
+	Name:   "parsafety",
+	Doc:    "flag concurrent closures writing non-index-partitioned captured state",
+	Design: "§6, §10",
+	Run:    runParSafety,
 }
+
+const parSafetyRule = "concurrent closures may only write index-partitioned or closure-local state"
 
 func runParSafety(pass *Pass) error {
 	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") {
@@ -53,7 +56,7 @@ func runParSafety(pass *Pass) error {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
-					checkParClosure(pass, lit, "go statement")
+					newPartitionScope(pass, lit, "go statement", parSafetyRule, false).walk()
 				}
 			case *ast.CallExpr:
 				name, ok := parExecutorCall(pass, n)
@@ -62,7 +65,7 @@ func runParSafety(pass *Pass) error {
 				}
 				for _, arg := range n.Args {
 					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-						checkParClosure(pass, lit, "par."+name)
+						newPartitionScope(pass, lit, "par."+name, parSafetyRule, false).walk()
 					}
 				}
 			}
@@ -80,261 +83,4 @@ func parExecutorCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return name, true
-}
-
-// checkParClosure analyzes one concurrently-executed closure. where
-// names the launch site ("par.For", "go statement") for diagnostics.
-func checkParClosure(pass *Pass, lit *ast.FuncLit, where string) {
-	// derived starts as the closure's int parameters (the partition
-	// indices) and grows with closure-locals computed from them — the
-	// chunk idiom `for k := lo; k < hi; k++ { out[k] = … }` makes k a
-	// partition index too.
-	derived := map[types.Object]bool{}
-	if lit.Type.Params != nil {
-		for _, f := range lit.Type.Params.List {
-			for _, name := range f.Names {
-				obj := pass.TypesInfo.Defs[name]
-				if obj == nil {
-					continue
-				}
-				if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
-					derived[obj] = true
-				}
-			}
-		}
-	}
-	isLitLocal := func(obj types.Object) bool {
-		return obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
-	}
-	mentionsDerived := func(e ast.Expr) bool {
-		if e == nil {
-			return false
-		}
-		found := false
-		ast.Inspect(e, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok {
-				if obj := pass.ObjectOf(id); obj != nil && derived[obj] {
-					found = true
-				}
-			}
-			return !found
-		})
-		return found
-	}
-
-	// Grow the derived set: a closure-local integer assigned from an
-	// expression mentioning a derived index is itself a partition index.
-	// Two passes settle chains (k := lo; j := k).
-	for pass2 := 0; pass2 < 2; pass2++ {
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			a, ok := n.(*ast.AssignStmt)
-			if !ok {
-				return true
-			}
-			for i, lhs := range a.Lhs {
-				if len(a.Rhs) != len(a.Lhs) {
-					break
-				}
-				id, ok := ast.Unparen(lhs).(*ast.Ident)
-				if !ok || id.Name == "_" {
-					continue
-				}
-				obj := pass.ObjectOf(id)
-				if obj == nil || !isLitLocal(obj) || derived[obj] {
-					continue
-				}
-				if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
-					continue
-				}
-				if mentionsDerived(a.Rhs[i]) {
-					derived[obj] = true
-				}
-			}
-			return true
-		})
-	}
-
-	seen := map[token.Pos]bool{}
-	report := func(pos token.Pos, format string, args ...any) {
-		if seen[pos] {
-			return
-		}
-		seen[pos] = true
-		pass.Reportf(pos, "%s closure %s; concurrent closures may only write index-partitioned or closure-local state", where, fmt.Sprintf(format, args...))
-	}
-
-	// freeRoot walks a write target to its base object and reports it if
-	// that base is captured from outside the closure.
-	freeRoot := func(e ast.Expr) (types.Object, bool) {
-		for {
-			switch x := ast.Unparen(e).(type) {
-			case *ast.Ident:
-				obj := pass.ObjectOf(x)
-				if obj == nil || isLitLocal(obj) {
-					return nil, false
-				}
-				return obj, true
-			case *ast.SelectorExpr:
-				// A qualified identifier (pkg.Var) roots at the var; a field
-				// access roots at its receiver chain.
-				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
-					if _, isPkg := pass.ObjectOf(id).(*types.PkgName); isPkg {
-						obj := pass.ObjectOf(x.Sel)
-						if obj == nil || isLitLocal(obj) {
-							return nil, false
-						}
-						return obj, true
-					}
-				}
-				e = x.X
-			case *ast.IndexExpr:
-				e = x.X
-			case *ast.SliceExpr:
-				e = x.X
-			case *ast.StarExpr:
-				e = x.X
-			default:
-				return nil, false
-			}
-		}
-	}
-
-	// anyIndexDerived reports whether some index step between the write
-	// target and its root mentions a partition index.
-	anyIndexDerived := func(e ast.Expr) bool {
-		for {
-			switch x := ast.Unparen(e).(type) {
-			case *ast.IndexExpr:
-				if mentionsDerived(x.Index) {
-					return true
-				}
-				e = x.X
-			case *ast.SliceExpr:
-				if mentionsDerived(x.Low) || mentionsDerived(x.High) || mentionsDerived(x.Max) {
-					return true
-				}
-				e = x.X
-			case *ast.SelectorExpr:
-				e = x.X
-			case *ast.StarExpr:
-				e = x.X
-			default:
-				return false
-			}
-		}
-	}
-
-	// isMapStore reports whether the innermost index step of the write
-	// target indexes a map — always a race under concurrent writers,
-	// partition index or not.
-	isMapStore := func(e ast.Expr) bool {
-		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
-		if !ok {
-			return false
-		}
-		t := pass.TypeOf(ix.X)
-		if t == nil {
-			return false
-		}
-		_, isMap := t.Underlying().(*types.Map)
-		return isMap
-	}
-
-	checkWrite := func(target ast.Expr, isDefine bool) {
-		switch ast.Unparen(target).(type) {
-		case *ast.Ident:
-			if isDefine {
-				return
-			}
-			obj, free := freeRoot(target)
-			if free {
-				report(target.Pos(), "writes captured variable %q", obj.Name())
-			}
-		case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr, *ast.SliceExpr:
-			obj, free := freeRoot(target)
-			if !free {
-				return
-			}
-			if isMapStore(target) {
-				report(target.Pos(), "writes captured map %q (concurrent map writes race even when keys are partitioned)", obj.Name())
-				return
-			}
-			if !anyIndexDerived(target) {
-				report(target.Pos(), "writes through captured %q without a partition index", obj.Name())
-			}
-		}
-	}
-
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				checkWrite(lhs, n.Tok == token.DEFINE)
-			}
-		case *ast.IncDecStmt:
-			checkWrite(n.X, false)
-		case *ast.CallExpr:
-			checkParCall(pass, n, freeRoot, anyIndexDerived, mentionsDerived, report)
-		}
-		return true
-	})
-}
-
-// checkParCall is the interprocedural leg: a captured value handed to a
-// callee that mutates it is a write from inside the closure. The call
-// is exempt when the argument itself is narrowed to a partition
-// (fill(buf[lo:hi])) or the callee receives a partition index through
-// an integer argument (set(out, i, v)) — the repo's two documented
-// fan-out shapes.
-func checkParCall(pass *Pass, call *ast.CallExpr,
-	freeRoot func(ast.Expr) (types.Object, bool),
-	anyIndexDerived func(ast.Expr) bool,
-	mentionsDerived func(ast.Expr) bool,
-	report func(token.Pos, string, ...any),
-) {
-	callee := pass.CalleeFunc(call)
-	if callee == nil {
-		return
-	}
-	sum := pass.Prog.Summary(callee)
-	if sum == nil {
-		return
-	}
-	intArgSteered := func() bool {
-		for _, arg := range call.Args {
-			t := pass.TypeOf(arg)
-			if t == nil {
-				continue
-			}
-			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 && mentionsDerived(arg) {
-				return true
-			}
-		}
-		return false
-	}
-	flagArg := func(e ast.Expr, what string) {
-		obj, free := freeRoot(e)
-		if !free {
-			return
-		}
-		if anyIndexDerived(e) || intArgSteered() {
-			return
-		}
-		report(e.Pos(), "passes captured %q to %s, which its summary shows %s", obj.Name(), callee.Name(), what)
-	}
-	if sum.RecvMutated() {
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-			flagArg(sel.X, "mutates its receiver")
-		}
-	}
-	for i, arg := range call.Args {
-		if !sum.ArgMutated(i) {
-			continue
-		}
-		t := pass.TypeOf(arg)
-		if t != nil && !typeAliases(t, 0) {
-			continue // value copy; the callee mutates its own copy
-		}
-		flagArg(arg, "writes through that parameter")
-	}
 }

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RoutePurity proves method selection side-effect-free on globals
+// (DESIGN.md §12, §14.4): route.Analyze/Select/SelectWidth and every
+// engine constructor run before — and sometimes instead of — a
+// simulation, so if selection consumed an RNG stream, read the wall
+// clock, bumped a metrics counter, or wrote package-level state, merely
+// *considering* an engine would perturb seeded reproducibility and the
+// goldens. The proof rides the v3 write-target and seam summaries:
+//
+//   - in packages ending in /route: every function must have an empty
+//     global-write and seam summary;
+//   - in packages ending in /engine: every New* constructor likewise.
+//
+// Flagged transitively — a constructor calling a helper that calls
+// metrics.Inc is rejected at the constructor, with the witness chain in
+// the message.
+var RoutePurity = &Analyzer{
+	Name:   "routepurity",
+	Doc:    "prove route selection and engine constructors side-effect-free on globals",
+	Design: "§14.4",
+	Run:    runRoutePurity,
+}
+
+func runRoutePurity(pass *Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") {
+		return nil
+	}
+	path := pass.Pkg.Path()
+	isRoute := strings.HasSuffix(path, "/route")
+	isEngine := strings.HasSuffix(path, "/engine")
+	if !isRoute && !isEngine {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isEngine && !strings.HasPrefix(fd.Name.Name, "New") {
+				continue // engine packages: constructors only
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sum := pass.Prog.Summary(obj)
+			if sum == nil {
+				continue
+			}
+			what := "selection path"
+			if isEngine {
+				what = "engine constructor"
+			}
+			if sum.WritesGlobal() {
+				pass.Reportf(fd.Name.Pos(), "%s %s writes package-level state: %s", what, fd.Name.Name, sum.GlobalWriteSite())
+			}
+			if site := sum.SeamSite(); site != "" {
+				pass.Reportf(fd.Name.Pos(), "%s %s reaches a global-effect seam: %s", what, fd.Name.Name, site)
+			}
+		}
+	}
+	return nil
+}

@@ -39,9 +39,10 @@ var scratchDstArg = map[string]int{
 // themselves (functions named Append*/*Reuse/BindInto are links in a
 // recycling chain and hand their dst contract to their caller).
 var ScratchArena = &Analyzer{
-	Name: "scratcharena",
-	Doc:  "flag scratch-API result slices that escape the calling frame",
-	Run:  runScratchArena,
+	Name:   "scratcharena",
+	Design: "§8, §9",
+	Doc:    "flag scratch-API result slices that escape the calling frame",
+	Run:    runScratchArena,
 }
 
 // isScratchAPIName reports whether a function is itself a scratch

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ShardSafety is parsafety's stricter dialect for the sharded
+// statevector (internal/qsim/shard, DESIGN.md §13, §14.3): a
+// shard-parallel closure may write only its assigned chunk — or the
+// paired `s1 = s0|bit` chunk inside a cross-shard butterfly, which the
+// derived-index growth pass already treats as a partition index.
+// Compared to parsafety it:
+//
+//   - drops the integer-steering exemption: handing the whole chunk
+//     table to a callee alongside a partition index is exactly the
+//     cross-chunk-write bug class this analyzer exists to catch;
+//   - flags writes to package-level state regardless of indexing —
+//     no partition of a global escapes the race;
+//   - consults the v3 write-target summaries, so a callee that stores
+//     to package-level state one call deep is rejected at the call.
+var ShardSafety = &Analyzer{
+	Name:   "shardsafety",
+	Doc:    "prove shard-parallel closures write only their assigned (or butterfly-paired) chunk",
+	Design: "§14.3",
+	Run:    runShardSafety,
+}
+
+const shardSafetyRule = "shard closures may only write their assigned chunk (or the butterfly-paired s|bit chunk)"
+
+func runShardSafety(pass *Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") || !strings.HasSuffix(pass.Pkg.Path(), "/shard") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					newPartitionScope(pass, lit, "go statement", shardSafetyRule, true).walk()
+				}
+			case *ast.CallExpr:
+				name, ok := parExecutorCall(pass, n)
+				if !ok {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						newPartitionScope(pass, lit, "par."+name, shardSafetyRule, true).walk()
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

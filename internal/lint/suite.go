@@ -11,6 +11,10 @@ func All() []*Analyzer {
 		ParSafety,
 		UnitFlow,
 		DeepScratch,
+		HotPath,
+		BitExact,
+		ShardSafety,
+		RoutePurity,
 	}
 }
 

@@ -1,0 +1,45 @@
+// Package fixture exercises every construct bitexact flags inside a
+// kernel file (the //qtenon:hotpath annotation below puts this file in
+// scope).
+package fixture
+
+import (
+	"math"
+
+	"qtenon/internal/par"
+)
+
+//qtenon:hotpath
+func kernel(re, im []float64, c, s float64) {
+	for i := range re {
+		re[i], im[i] = (c*re[i] - s*im[i]), (c*im[i] + s*re[i])
+	}
+}
+
+func fused(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math.FMA fuses the multiply-add rounding step`
+}
+
+func mapAccum(weights map[int]float64) float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w // want `float accumulation over map iteration`
+	}
+	return sum
+}
+
+func schedOrdered(vals []float64) float64 {
+	var total float64
+	par.For(len(vals), func(lo, hi int) {
+		var t float64
+		for i := lo; i < hi; i++ {
+			t += vals[i]
+		}
+		total += t // want `float reduction inside a par.For closure`
+	})
+	return total
+}
+
+func reassociated(a, b, c, d, e, f float64) float64 {
+	return a*b - c*d + e*f // want `additive chain over 3 multiplicative terms`
+}

@@ -1,0 +1,39 @@
+// Package fixture holds the sanctioned bit-exact shapes: recorded
+// product pairings, chunk-ordered reductions, deterministic iteration.
+// No diagnostics expected.
+package fixture
+
+import "qtenon/internal/par"
+
+//qtenon:hotpath
+func kernel(re, im []float64, c, s float64) {
+	for i := range re {
+		re[i], im[i] = (c*re[i] - s*im[i]), (c*im[i] + s*re[i])
+	}
+}
+
+// The recorded expression shape: products paired in explicit
+// parentheses, so the association is pinned in the source.
+func paired(a, b, c, d, e, f, g, h float64) float64 {
+	return (a*b - c*d) + (e*f - g*h)
+}
+
+// Chunk-ordered reduction through par is the deterministic fold.
+func reduced(vals []float64) float64 {
+	return par.SumFloat64(len(vals), func(lo, hi int) float64 {
+		var t float64
+		for i := lo; i < hi; i++ {
+			t += vals[i]
+		}
+		return t
+	})
+}
+
+// Slice iteration order is deterministic; accumulating over it is fine.
+func sliceAccum(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,7 @@
+package fixture
+
+import "math"
+
+// This file carries no //qtenon:hotpath function, so bitexact does not
+// apply to it: FMA in cold analysis code is legitimate.
+func coldFMA(a, b, c float64) float64 { return math.FMA(a, b, c) }

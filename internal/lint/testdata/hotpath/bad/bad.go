@@ -1,0 +1,78 @@
+// Package fixture exercises every allocation class the hotpath
+// analyzer reports inside //qtenon:hotpath-annotated functions.
+package fixture
+
+import "fmt"
+
+var sink func()
+
+//qtenon:hotpath
+func makes(n int) []float64 {
+	return make([]float64, n) // want `make allocates`
+}
+
+//qtenon:hotpath
+func news() *int {
+	return new(int) // want `new allocates`
+}
+
+//qtenon:hotpath
+func localSelfAppend(dst []float64, v float64) []float64 {
+	dst = append(dst, v) // want `growing append may reallocate the backing array`
+	return dst
+}
+
+//qtenon:hotpath
+func mapStore(m map[int]int, k int) {
+	m[k] = 1 // want `map assignment allocates buckets`
+}
+
+//qtenon:hotpath
+func sliceLit() []int {
+	s := []int{1, 2, 3} // want `composite literal allocates backing storage`
+	return s
+}
+
+type pair struct{ a, b float64 }
+
+//qtenon:hotpath
+func addrLit(x float64) *pair {
+	return &pair{a: x} // want `address-taken composite literal allocates`
+}
+
+//qtenon:hotpath
+func escapes(x int) {
+	sink = func() { _ = x } // want `function literal escapes the frame`
+}
+
+//qtenon:hotpath
+func launches(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement allocates a goroutine`
+}
+
+//qtenon:hotpath
+func converts(b []byte) string {
+	return string(b) // want `string/byte-slice conversion copies and allocates`
+}
+
+//qtenon:hotpath
+func concats(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//qtenon:hotpath
+func boxesReturn(v float64) any {
+	return v // want `interface boxing: returning float64`
+}
+
+//qtenon:hotpath
+func boxesArg(v float64) {
+	fmt.Println(v) // want `interface boxing: passing float64` `calls Println, which has no alloc-free summary`
+}
+
+func helper(n int) []int { return make([]int, n) }
+
+//qtenon:hotpath
+func callsAllocating(n int) {
+	_ = helper(n) // want `calls helper, which is not allocation-free`
+}

@@ -1,0 +1,115 @@
+// Package fixture holds hot-path shapes the analyzer must accept: the
+// arena idiom's cold-path exemptions, stack-allocatable constructs, and
+// calls with alloc-free summaries. No diagnostics expected.
+package fixture
+
+import (
+	"fmt"
+	"math"
+
+	"qtenon/internal/par"
+)
+
+type arena struct{ buf []float64 }
+
+// Field-rooted self-append is the arena-recycle idiom: amortized growth
+// of owned scratch.
+//
+//qtenon:hotpath
+func (a *arena) push(v float64) {
+	a.buf = append(a.buf, v)
+}
+
+// The growFloat64 shape: everything after a cap-guarded early return is
+// the cold reallocation path.
+//
+//qtenon:hotpath
+func capGuardedGrow(dst []float64, n int) []float64 {
+	if n <= cap(dst) {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// A nil-guarded block is first-use initialization, not steady state.
+//
+//qtenon:hotpath
+func nilGuarded(s []float64) []float64 {
+	if s == nil {
+		s = make([]float64, 8)
+	}
+	return s
+}
+
+// Plain float kernel: in-place, branch-free, provably alloc-free.
+//
+//qtenon:hotpath
+func kernel(re, im []float64, c, s float64) {
+	for i := range re {
+		re[i], im[i] = (c*re[i] - s*im[i]), (c*im[i] + s*re[i])
+	}
+}
+
+// Array literals live on the stack; only slice/map literals allocate.
+//
+//qtenon:hotpath
+func stackArray(x float64) float64 {
+	u := [4]float64{x, 0, 0, x}
+	return u[0] + u[3]
+}
+
+// Calling a proven-alloc-free sibling inherits its summary.
+//
+//qtenon:hotpath
+func callsProven(re, im []float64, c, s float64) {
+	kernel(re, im, c, s)
+}
+
+// math is on the external alloc-free allowlist.
+//
+//qtenon:hotpath
+func usesMath(x float64) float64 { return math.Sqrt(x) }
+
+// The par executors are the sanctioned fan-out: their closure argument
+// does not escape and their bounded dispatch cost is curated.
+//
+//qtenon:hotpath
+func fansOut(out []float64) {
+	par.For(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i)
+		}
+	})
+}
+
+//qtenon:hotpath
+func reduces(vals []float64) float64 {
+	return par.SumFloat64(len(vals), func(lo, hi int) float64 {
+		var t float64
+		for i := lo; i < hi; i++ {
+			t += vals[i]
+		}
+		return t
+	})
+}
+
+// Operands returned in error-typed result positions are the failing
+// path; their construction is not hot-path work.
+//
+//qtenon:hotpath
+func errPath(dst []float64, n int) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hotpath fixture: negative length %d", n)
+	}
+	return dst[:0], nil
+}
+
+// Panic arguments are the crash path.
+//
+//qtenon:hotpath
+func guarded(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("hotpath fixture: bad length %d", n))
+	}
+	return n
+}

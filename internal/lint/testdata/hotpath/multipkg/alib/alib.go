@@ -1,0 +1,18 @@
+// Package alib is the dependency side of the cross-package hotpath
+// fixture: whether its functions allocate is known to the sibling
+// package only through their allocation summaries.
+package alib
+
+// Scale multiplies in place; provably allocation-free.
+func Scale(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] *= v
+	}
+}
+
+// Copied returns a fresh copy — an allocation the summary records.
+func Copied(src []float64) []float64 {
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}

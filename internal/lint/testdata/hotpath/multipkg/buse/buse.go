@@ -1,0 +1,16 @@
+// Package buse exercises hotpath's interprocedural leg across a
+// package boundary: alib's allocation behaviour is visible only through
+// its function summaries.
+package buse
+
+import "qtenon/fixture/hotpath/multipkg/alib"
+
+//qtenon:hotpath
+func Good(dst []float64) {
+	alib.Scale(dst, 2)
+}
+
+//qtenon:hotpath
+func Bad(src []float64) []float64 {
+	return alib.Copied(src) // want `calls Copied, which is not allocation-free`
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises routepurity on a /route package path:
+// selection logic must not write globals or reach effect seams.
+//
+//lintfixture:path qtenon/fixture/routepurity/route
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+var selections int
+
+func Analyze(n int) int { // want `selection path Analyze writes package-level state`
+	selections++
+	return n * 2
+}
+
+func SelectWidth(n int) int { // want `selection path SelectWidth reaches a global-effect seam`
+	if time.Now().UnixNano()%2 == 0 {
+		return n
+	}
+	return n + 1
+}
+
+func Jitter(n int) int { // want `selection path Jitter reaches a global-effect seam`
+	return n + rand.Intn(3)
+}
+
+var routeCache map[int]int
+
+// The write-target summary carries the store through a helper.
+func Cached(n int) int { // want `selection path Cached writes package-level state`
+	remember(n)
+	return n
+}
+
+func remember(n int) { // want `selection path remember writes package-level state`
+	routeCache[n] = n
+}

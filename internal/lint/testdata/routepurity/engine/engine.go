@@ -1,0 +1,30 @@
+// Package fixture exercises routepurity's engine dialect: only New*
+// constructors are in scope, and they must be reproducible — no effect
+// seams, no global writes.
+//
+//lintfixture:path qtenon/fixture/routepurity/engine
+package fixture
+
+import "time"
+
+type Sim struct {
+	n    int
+	seed int64
+}
+
+// A constructor that derives everything from its arguments passes.
+func NewSim(n int, seed int64) *Sim {
+	return &Sim{n: n, seed: seed}
+}
+
+func NewSeeded(n int) *Sim { // want `engine constructor NewSeeded reaches a global-effect seam`
+	return &Sim{n: n, seed: time.Now().UnixNano()}
+}
+
+var constructed int
+
+// Non-constructor functions are out of the engine dialect's scope even
+// when they write globals; other analyzers own that surface.
+func Reset() {
+	constructed = 0
+}

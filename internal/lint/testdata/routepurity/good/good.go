@@ -1,0 +1,34 @@
+// Package fixture holds pure selection shapes: decisions computed only
+// from inputs, scratch kept local. No diagnostics expected.
+//
+//lintfixture:path qtenon/fixture/routepurity/route
+package fixture
+
+// Pure arithmetic over the inputs.
+func Analyze(gates, qubits int) int {
+	if qubits < 12 {
+		return 0
+	}
+	return gates / qubits
+}
+
+// Local scratch is fine; only package-level state is off-limits.
+func SelectWidth(widths []int, budget int) int {
+	best := -1
+	for _, w := range widths {
+		if w <= budget && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// Reading package-level configuration is allowed; writing it is not.
+var defaultWidth = 8
+
+func Fallback(n int) int {
+	if n <= 0 {
+		return defaultWidth
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+// Package fixture exercises the shard dialect's stricter rules. The
+// path directive places it under a /shard package path, the analyzer's
+// scope.
+//
+//lintfixture:path qtenon/fixture/shardsafety/shard
+package fixture
+
+import "qtenon/internal/par"
+
+// A constant chunk index escapes the closure's partition.
+func crossChunk(chunks [][]float64) {
+	par.Do(len(chunks), func(sh int) {
+		chunks[0][0] = 1 // want `writes through captured "chunks" without a partition index`
+	})
+}
+
+// parsafety would exempt this call because the partition index rides
+// along as an integer argument; the shard dialect drops that exemption —
+// handing the whole chunk table to a mutating callee is exactly the
+// cross-chunk-write bug class.
+func steered(chunks [][]float64) {
+	par.Do(len(chunks), func(sh int) {
+		scaleAll(chunks, sh) // want `passes captured "chunks" to scaleAll, which its summary shows writes through that parameter`
+	})
+}
+
+func scaleAll(chunks [][]float64, sh int) {
+	for j := range chunks {
+		for i := range chunks[j] {
+			chunks[j][i] *= 2
+		}
+	}
+}
+
+var counts []int
+
+// Package-level state escapes every chunk partition, partition index or
+// not — parsafety would accept the derived index here.
+func globalIndexed(chunks [][]float64) {
+	par.Do(len(chunks), func(sh int) {
+		counts[sh] = sh // want `writes package-level "counts"`
+	})
+}
+
+var calls int
+
+func bump() { calls++ }
+
+// The write-target summary rejects a package-level store one call deep.
+func viaCallee(chunks [][]float64) {
+	par.Do(len(chunks), func(sh int) {
+		bump() // want `calls bump, whose write-target summary shows a package-level store`
+	})
+}

@@ -1,0 +1,63 @@
+// Package fixture holds the sanctioned shard-parallel shapes: per-chunk
+// writes, butterfly chunk pairs, and partition-narrowed callee
+// arguments. No diagnostics expected.
+//
+//lintfixture:path qtenon/fixture/shardsafety/shard
+package fixture
+
+import "qtenon/internal/par"
+
+// Each worker writes only its own chunk.
+func perChunk(chunks [][]float64, v float64) {
+	par.Do(len(chunks), func(sh int) {
+		c := chunks[sh]
+		for i := range c {
+			c[i] = v
+		}
+	})
+}
+
+// The cross-shard butterfly: s and s1 = s|bit are both computed from
+// the partition index, so the pair of chunks is the worker's partition.
+func butterfly(chunks [][]float64, bit int) {
+	par.Do(len(chunks)/2, func(s0 int) {
+		low := s0 & (bit - 1)
+		s := low | (s0&^(bit-1))<<1
+		s1 := s | bit
+		a, b := chunks[s], chunks[s1]
+		for i := range a {
+			a[i], b[i] = b[i], a[i]
+		}
+	})
+}
+
+// Narrowing the argument to the worker's own chunk keeps the mutating
+// callee inside the partition.
+func narrowed(chunks [][]float64) {
+	par.Do(len(chunks), func(sh int) {
+		fill(chunks[sh], 1)
+	})
+}
+
+func fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// Chunk-local partial sums folded after the join are the deterministic
+// reduction shape.
+func expectation(chunks [][]float64, partial []float64) float64 {
+	par.Do(len(chunks), func(sh int) {
+		var e float64
+		for _, v := range chunks[sh] {
+			e += v * v
+		}
+		partial[sh] = e
+	})
+	var sum float64
+	for _, v := range partial {
+		sum += v
+	}
+	return sum
+}

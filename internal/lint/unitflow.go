@@ -29,9 +29,10 @@ import (
 //  3. a call argument whose known domain differs from the domain the
 //     callee's summary infers for that parameter.
 var UnitFlow = &Analyzer{
-	Name: "unitflow",
-	Doc:  "flag cycle/Hz/picosecond unit mixing outside the Clock seam",
-	Run:  runUnitFlow,
+	Name:   "unitflow",
+	Design: "§9, §10",
+	Doc:    "flag cycle/Hz/picosecond unit mixing outside the Clock seam",
+	Run:    runUnitFlow,
 }
 
 func runUnitFlow(pass *Pass) error {

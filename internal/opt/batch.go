@@ -72,6 +72,8 @@ func (s *batchScratch) ensure(p int) {
 // batch is ordered [+0, −0, +1, −1, …] — exactly the sequence the serial
 // shiftGradient evaluates — so a Batch-adapted Evaluator reproduces the
 // serial path's evaluation order and results bit for bit.
+//
+//qtenon:hotpath
 func shiftGradientBatch(eval BatchEvaluator, params []float64, shift float64, grad []float64, scr *batchScratch) (int, error) {
 	p := len(params)
 	scr.ensure(p)

@@ -157,12 +157,28 @@ func (r *planRecorder) noteTwoQTerm(g circuit.Gate, opIdx, termIdx int) {
 }
 
 func (r *planRecorder) setTerm(opIdx, termIdx int, t recTerm) {
-	terms := r.ops[opIdx].terms
-	for len(terms) <= termIdx {
-		terms = append(terms, recTerm{})
-	}
+	terms := growTerms(r.ops[opIdx].terms, termIdx+1)
 	terms[termIdx] = t
 	r.ops[opIdx].terms = terms
+}
+
+// growTerms extends terms to length n, zero-filling new slots;
+// reallocation happens only when capacity is exhausted, so recording
+// settles into recycled storage like every other arena in the package.
+func growTerms(terms []recTerm, n int) []recTerm {
+	if n <= len(terms) {
+		return terms
+	}
+	if n <= cap(terms) {
+		grown := terms[:n]
+		for i := len(terms); i < n; i++ {
+			grown[i] = recTerm{}
+		}
+		return grown
+	}
+	grown := make([]recTerm, n, 2*n)
+	copy(grown, terms)
+	return grown
 }
 
 // CompilePlan compiles a (possibly parameterized) circuit into a
@@ -203,6 +219,8 @@ func (p *Plan) NQubits() int { return p.nq }
 // foldGates recomputes a fused 2×2 matrix from its source gates in the
 // exact fold order merge1Q uses (acc = m_i · acc in program order), so a
 // refilled matrix is bit-identical to fusing the bound circuit.
+//
+//qtenon:hotpath
 func (p *Plan) foldGates(off, n int, params []float64) [4]complex128 {
 	g := p.gates[off]
 	acc, ok := gateMatrix1QTheta(g.kind, g.angle(params))
@@ -220,6 +238,8 @@ func (p *Plan) foldGates(off, n int, params []float64) [4]complex128 {
 }
 
 // refill rebinds every angle-dependent matrix and phase factor in place.
+//
+//qtenon:hotpath
 func (p *Plan) refill(params []float64) {
 	for i := range p.ops {
 		op := &p.ops[i]
@@ -253,6 +273,8 @@ func (p *Plan) refill(params []float64) {
 // returned state is numerically identical (to fusion tolerance) to
 // RunReuse on the bound circuit. The caller owns st exclusively; its
 // previous contents are destroyed.
+//
+//qtenon:hotpath
 func (p *Plan) Execute(st *State, params []float64) (*State, error) {
 	if len(params) != p.nparams {
 		return nil, fmt.Errorf("qsim: plan executed with %d params, want %d", len(params), p.nparams)

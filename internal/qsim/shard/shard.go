@@ -82,6 +82,11 @@ type State struct {
 	topProbs     []float64
 	probScratch  [][]float64
 	seedScratch  []int64
+
+	// zScratch holds per-shard expectation partials, recycled across
+	// ExpectationZ calls so the reduction is allocation-free in steady
+	// state. Excluded from Clone like every other scratch field.
+	zScratch []float64
 }
 
 // New returns |0…0⟩ over n qubits with the production shard size.
@@ -135,6 +140,16 @@ func (s *State) Amp(i int) (re, im float64) {
 
 // invalidate drops the cached sampler; every mutating path calls it.
 func (s *State) invalidate() { s.samplerValid = false }
+
+// growScratch returns dst resized to n, reallocating only when capacity
+// is exhausted — the arena shape the hotpath analyzer proves
+// steady-state allocation-free.
+func growScratch(dst []float64, n int) []float64 {
+	if n <= cap(dst) {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
 
 // Reset restores |0…0⟩ in place, keeping all shard storage.
 func (s *State) Reset() {
@@ -195,6 +210,8 @@ func (s *State) Apply(g circuit.Gate) {
 // execute runs a compiled program: maximal runs of shard-local ops are
 // grouped per shard (cache-resident chunk, one parallel dispatch),
 // cross-shard ops run between groups.
+//
+//qtenon:hotpath
 func (s *State) execute(p *qsim.FusedProgram) {
 	if p.NumOps() == 0 {
 		return
@@ -237,6 +254,8 @@ func (s *State) opShardLocal(p *qsim.FusedProgram, i int) bool {
 // shard: one parallel dispatch, each shard sweeping its chunk through
 // the whole group while it is cache-resident. Shards write disjoint
 // chunks, so the dispatch is race-free.
+//
+//qtenon:hotpath
 func (s *State) applyLocalGroup(p *qsim.FusedProgram, lo, hi int) {
 	par.Do(len(s.re), func(sh int) {
 		re, im := s.re[sh], s.im[sh]
@@ -267,6 +286,8 @@ func (s *State) applyLocalGroup(p *qsim.FusedProgram, lo, hi int) {
 // (local control) or — both operands global — swaps whole chunk
 // descriptors in O(1). Every pair is touched by exactly one dispatch
 // index, so parallel pairs never overlap.
+//
+//qtenon:hotpath
 func (s *State) applyGlobalOp(p *qsim.FusedProgram, i int) {
 	kind, q, q2 := p.OpInfo(i)
 	switch kind {
@@ -318,8 +339,11 @@ func (s *State) Probabilities() []float64 {
 // ExpectationZ returns ⟨Z_q⟩: per-shard partial sums folded in
 // shard-index order (deterministic at any GOMAXPROCS). A global qubit's
 // sign is constant per shard and read from the shard index.
+//
+//qtenon:hotpath
 func (s *State) ExpectationZ(q int) float64 {
-	partial := make([]float64, len(s.re))
+	s.zScratch = growScratch(s.zScratch, len(s.re))
+	partial := s.zScratch
 	if q < s.shardBits {
 		m := 1 << q
 		par.Do(len(s.re), func(sh int) {
