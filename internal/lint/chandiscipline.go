@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ChanDiscipline enforces the channel ownership contract (DESIGN.md
+// §15.2) that keeps "send on closed channel" — a panic, not an error —
+// out of the serving layer:
+//
+//   - close-by-owner: a function must not close a channel it received
+//     as a parameter; the owner (the function that made the channel)
+//     closes it, callees signal completion some other way. Helpers
+//     whose entire purpose is closing carry a //lint:ignore with the
+//     documented reason.
+//   - no send-after-close: within a function, a send on a channel that
+//     an earlier statement closed — directly, or through a callee whose
+//     v4 summary says it may close that argument — is flagged with the
+//     close witness named. Double closes are flagged the same way.
+//   - hot-path sends: inside //qtenon:hotpath-annotated functions, a
+//     send outside a select on a channel not provably buffered (traced
+//     to a make with a positive constant capacity) is a latent stall
+//     and is flagged.
+//
+// The send-after-close check replays each function body in source
+// order, one stream per function literal (a closure runs on its own
+// schedule; ordering across the boundary is not claimed).
+var ChanDiscipline = &Analyzer{
+	Name:   "chandiscipline",
+	Doc:    "close-by-owner, no send on a possibly-closed channel, no unbuffered sends in non-select hot paths",
+	Design: "§15.2",
+	Run:    runChanDiscipline,
+}
+
+func runChanDiscipline(pass *Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &chanCheck{pass: pass, fd: fd, params: map[types.Object]bool{}}
+			if fd.Type.Params != nil {
+				for _, f := range fd.Type.Params.List {
+					for _, name := range f.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							c.params[obj] = true
+						}
+					}
+				}
+			}
+			c.hot = hotpathAnnotated(fd)
+			c.stream(fd.Body)
+		}
+	}
+	return nil
+}
+
+type chanCheck struct {
+	pass   *Pass
+	fd     *ast.FuncDecl
+	params map[types.Object]bool
+	hot    bool
+}
+
+type closeRec struct {
+	pos token.Pos
+	why string
+}
+
+// stream replays one body (function literals excluded, then recursed
+// into as their own streams) in source order, tracking which channel
+// expressions have been closed.
+func (c *chanCheck) stream(body ast.Node) {
+	type chanEvent struct {
+		pos   token.Pos
+		close bool
+		ch    ast.Expr
+		why   string // close witness for indirect (callee) closes
+		send  *ast.SendStmt
+	}
+	var evs []chanEvent
+	var lits []*ast.FuncLit
+	guarded := selectGuards(body)
+	info := c.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.SendStmt:
+			evs = append(evs, chanEvent{pos: n.Pos(), ch: n.Chan, send: n})
+		case *ast.CallExpr:
+			if isBuiltinIn(info, n, "close") && len(n.Args) == 1 {
+				evs = append(evs, chanEvent{pos: n.Pos(), close: true, ch: n.Args[0],
+					why: fmt.Sprintf("closed at %s", shortPos(c.pass.Fset, n.Pos()))})
+				return true
+			}
+			callee := c.pass.CalleeFunc(n)
+			if callee == nil {
+				return true
+			}
+			sum := c.pass.Prog.Summary(callee)
+			if sum == nil {
+				return true
+			}
+			for i, arg := range n.Args {
+				if sum.ArgChanClosed(i) && isChanExpr(info, arg) {
+					evs = append(evs, chanEvent{pos: n.Pos(), close: true, ch: arg,
+						why: fmt.Sprintf("may be closed by the call to %s at %s", callee.Name(), shortPos(c.pass.Fset, n.Pos()))})
+				}
+			}
+		}
+		return true
+	})
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+
+	closed := map[string]closeRec{}
+	for _, e := range evs {
+		name := exprString(e.ch)
+		if e.close {
+			if id, ok := ast.Unparen(e.ch).(*ast.Ident); ok && c.params[c.pass.ObjectOf(id)] {
+				c.pass.Reportf(e.pos, "close of channel parameter %q: channels are closed by their owner, not by helpers — signal completion another way", name)
+			}
+			if prev, ok := closed[name]; ok {
+				c.pass.Reportf(e.pos, "channel %q closed twice (already %s): double close panics", name, prev.why)
+				continue
+			}
+			if name != "" {
+				closed[name] = closeRec{pos: e.pos, why: e.why}
+			}
+			continue
+		}
+		if prev, ok := closed[name]; ok {
+			c.pass.Reportf(e.pos, "send on channel %q, which %s: send on closed channel panics", name, prev.why)
+		}
+		if c.hot && !guarded[e.send] && !c.provablyBuffered(e.ch) {
+			c.pass.Reportf(e.pos, "hot path sends on %q outside a select, and the channel is not provably buffered: a slow receiver stalls the kernel", name)
+		}
+	}
+	for _, lit := range lits {
+		c.stream(lit.Body)
+	}
+}
+
+// provablyBuffered reports whether ch traces to a local
+// `make(chan T, n)` with a positive constant capacity inside this
+// function.
+func (c *chanCheck) provablyBuffered(ch ast.Expr) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	info := c.pass.TypesInfo
+	buffered := false
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if buffered {
+			return false
+		}
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || c.pass.ObjectOf(lid) != obj {
+				continue
+			}
+			call, ok := ast.Unparen(a.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isBuiltinIn(info, call, "make") || len(call.Args) < 2 {
+				continue
+			}
+			if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil &&
+				tv.Value.Kind() == constant.Int && constant.Sign(tv.Value) > 0 {
+				buffered = true
+			}
+		}
+		return true
+	})
+	return buffered
+}

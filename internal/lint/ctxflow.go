@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow requires every function that may block indefinitely to thread
+// a cancellation seam (DESIGN.md §15.4). The coming qtenon-serve layer
+// sheds load by cancelling in-flight work; a blocking wait with no
+// cancellation path is work the daemon can never reclaim. The v4
+// blocking summary is transitive, so the contract binds at every public
+// surface, not just the function that owns the channel:
+//
+//   - a function whose summary carries a block witness and whose
+//     signature has no context.Context-shaped parameter and no
+//     done-channel parameter is flagged: it blocks and nobody can stop
+//     it;
+//   - a function that *does* advertise a seam but still carries a block
+//     witness is flagged too — the seam must actually guard the op
+//     (select with a done-case), not just decorate the signature.
+//
+// Receives from cancellation channels and selects with a done-case (or
+// a default) never count as block witnesses, so the fix — guard the op
+// with the seam — also clears the diagnostic. Audited roots (a wg.Wait
+// whose bound is structural, like the par dispatch join) carry a
+// //lint:ignore ctxflow directive at the op, which both suppresses the
+// diagnostic and stops the witness from tainting callers.
+var CtxFlow = &Analyzer{
+	Name:   "ctxflow",
+	Doc:    "transitively-blocking functions must thread a cancellation seam (context-shaped or done-channel parameter)",
+	Design: "§15.4",
+	Run:    runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sum := pass.Prog.Summary(obj)
+			if sum == nil || !sum.Blocks() {
+				continue
+			}
+			if hasCancellationParam(obj.Type().(*types.Signature)) {
+				pass.Reportf(fd.Name.Pos(), "%s advertises a cancellation seam but may still block outside it: %s — guard the op with a select on the seam",
+					fd.Name.Name, sum.BlockSite())
+			} else {
+				pass.Reportf(fd.Name.Pos(), "%s may block indefinitely and threads no cancellation seam (context-shaped or done-channel parameter): %s",
+					fd.Name.Name, sum.BlockSite())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoroutineLifecycle requires every `go` statement to carry a
+// termination witness (DESIGN.md §15.1): the spawned body must join
+// (sync.WaitGroup.Done), wind down under cancellation (a select with a
+// done-case, a receive from a cancellation channel, a range over a
+// channel some in-program function closes or that returns on a
+// sentinel), or be bounded outright (no loops, no blocking ops). A
+// fire-and-forget goroutine with none of those is exactly the leak that
+// accumulates in a long-running daemon until the scheduler drowns; the
+// diagnostic names the leak path so the fix is mechanical.
+//
+// Named spawn targets are judged through their v4 summary
+// (TermSeam/LeakSite, computed transitively); closure literals are
+// classified in place. Spawns of functions outside the program (no
+// summary) follow the optimistic-inert stance of the aliasing
+// dimensions — the full-module CI run sees every qtenon summary, which
+// is where the gate binds.
+var GoroutineLifecycle = &Analyzer{
+	Name:   "goroutinelifecycle",
+	Doc:    "every go statement must reach a join or termination witness; leaks flagged with the leak path named",
+	Design: "§15.1",
+	Run:    runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(pass *Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				if _, leak := goroutineTermination(pass.Prog, pass.TypesInfo, pass.Fset, lit.Body); leak != "" {
+					pass.Reportf(g.Pos(), "goroutine has no termination witness — %s", leak)
+				}
+				return true
+			}
+			callee := pass.CalleeFunc(g.Call)
+			if callee == nil {
+				return true // spawn through a function value: judged at the literal's definition
+			}
+			sum := pass.Prog.Summary(callee)
+			if sum == nil {
+				return true // external or curated-inert callee
+			}
+			if leak := sum.LeakSite(); leak != "" {
+				pass.Reportf(g.Pos(), "go %s has no termination witness — %s", callee.Name(), leak)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,897 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the v4 extension of the interprocedural layer (DESIGN.md
+// §15): the concurrency-liveness summary dimensions behind the
+// goroutinelifecycle, chandiscipline, lockorder and ctxflow analyzers,
+// computed inside the same monotone fixpoint as the earlier dimensions.
+//
+//   - blocking: may this function block indefinitely — an unguarded
+//     channel send/receive, a select with neither default nor
+//     cancellation case, sync.WaitGroup.Wait / sync.Cond.Wait /
+//     sync.Once.Do, or a call to a callee that may — transitively
+//     through its in-program callees? Receives from cancellation-shaped
+//     channels (chan struct{}, ctx.Done()) are the seam itself, never a
+//     block witness. ctxflow consumes the fact.
+//   - termination: when this function is spawned with `go`, does it
+//     provably finish or provably wind down — a sync.WaitGroup.Done
+//     join, a select with a cancellation case, a receive from a
+//     cancellation channel, a range over a channel with a sentinel
+//     return or over a channel some in-program function closes, or a
+//     body with no loops and no blocking ops at all? goroutinelifecycle
+//     consumes both the seam and the leak witness.
+//   - channel roles: which parameters may this function send on or
+//     close, transitively? chandiscipline consumes the close bits to see
+//     a send-after-close through a helper call.
+//   - lock order: which lock classes (package-level mutexes, mutex
+//     fields of named types) may this function acquire, and in what
+//     order? Every "acquires B while holding A" observation lands in the
+//     Program-level lockEdges graph; lockorder reports the cycles.
+//
+// Flood control: a blocking op whose line carries a well-formed
+// //lint:ignore directive naming ctxflow is declared bounded — the
+// directive is the audited proof (directive_audit_test ties its reason
+// to a DESIGN.md section), so callers do not inherit a block witness
+// that a human already discharged at the root. The lock-order scan is
+// flow-insensitive within a function (events are replayed in source
+// order; branches are merged), which can invent a held-pair across
+// exclusive branches — accepted: the module's locking is simple enough
+// that the only pairs the graph ever sees are real, and a false pair is
+// visible in the reported witness chain.
+
+// Blocks reports whether the function may block indefinitely,
+// transitively through its in-program callees.
+func (s *FuncSummary) Blocks() bool { return s != nil && s.blockSite != "" }
+
+// BlockSite describes the first blocking witness ("" when bounded).
+func (s *FuncSummary) BlockSite() string {
+	if s == nil {
+		return ""
+	}
+	return s.blockSite
+}
+
+// TermSeam describes the proof this function terminates (or winds down
+// under cancellation) when spawned as a goroutine; "" when none found.
+func (s *FuncSummary) TermSeam() string {
+	if s == nil {
+		return ""
+	}
+	return s.termSeam
+}
+
+// LeakSite describes why this function leaks when spawned as a
+// goroutine; "" when it has a termination seam or is bounded.
+func (s *FuncSummary) LeakSite() string {
+	if s == nil {
+		return ""
+	}
+	return s.leakSite
+}
+
+// ArgChanSent reports whether the callee may send on the i'th call
+// argument (a channel), transitively.
+func (s *FuncSummary) ArgChanSent(i int) bool {
+	if s == nil {
+		return false
+	}
+	i = s.argIndex(i)
+	return i >= 0 && s.chanSends&paramBit(i) != 0
+}
+
+// ArgChanClosed reports whether the callee may close the i'th call
+// argument (a channel), transitively.
+func (s *FuncSummary) ArgChanClosed(i int) bool {
+	if s == nil {
+		return false
+	}
+	i = s.argIndex(i)
+	return i >= 0 && s.chanCloses&paramBit(i) != 0
+}
+
+// LockSet returns the lock classes the function may acquire,
+// transitively, in sorted order.
+func (s *FuncSummary) LockSet() []string {
+	if s == nil || len(s.locks) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(s.locks))
+	for id := range s.locks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// lockPair is a directed edge (from held to newly acquired) in the
+// program's lock-acquisition order graph.
+type lockPair struct{ from, to string }
+
+// lockEdge is the first witness of one acquisition ordering. pos is
+// valid in the FileSet of the package named by pkg, which is where
+// lockorder reports it — exactly once module-wide.
+type lockEdge struct {
+	pos     token.Pos
+	pkg     string
+	witness string
+}
+
+// ignoreFor lazily parses and caches pkg's //lint:ignore index.
+func (p *Program) ignoreFor(pkg *Package) ignoreIndex {
+	if ix, ok := p.ignores[pkg]; ok {
+		return ix
+	}
+	ix, _ := parseDirectives(pkg.Fset, pkg.Files)
+	if p.ignores == nil {
+		p.ignores = map[*Package]ignoreIndex{}
+	}
+	p.ignores[pkg] = ix
+	return ix
+}
+
+// boundedByDirective reports whether pos sits on a line governed by a
+// well-formed //lint:ignore directive naming analyzer — the audited
+// escape hatch that declares a blocking op bounded at its root instead
+// of flooding every transitive caller with the witness.
+func (p *Program) boundedByDirective(pkg *Package, pos token.Pos, analyzer string) bool {
+	posn := pkg.Fset.Position(pos)
+	d := p.ignoreFor(pkg)[fmt.Sprintf("%s:%d", posn.Filename, posn.Line)]
+	return d != nil && d.malformed == "" && d.analyzers[analyzer]
+}
+
+// summarizeV4 folds the liveness facts into sum; reports whether the
+// summary (or the program-level fact tables) grew.
+func summarizeV4(p *Program, fi *FuncInfo, sum *FuncSummary) bool {
+	changed := false
+	if sum.blockSite == "" {
+		skip := func(pos token.Pos) bool {
+			return p.boundedByDirective(fi.Pkg, pos, "ctxflow")
+		}
+		if pos, desc, ok := firstBlockingOp(p, fi.Pkg.Info, fi.Decl.Body, skip); ok {
+			sum.blockSite = fmt.Sprintf("%s: %s", shortPos(fi.Pkg.Fset, pos), desc)
+			changed = true
+		}
+	}
+	// Termination is recomputed each round rather than set once: a range
+	// over a channel is a leak until some later-summarized function's
+	// close lands in closedChans, at which point it flips (monotonically)
+	// to a seam.
+	seam, leak := goroutineTermination(p, fi.Pkg.Info, fi.Pkg.Fset, fi.Decl.Body)
+	if seam != sum.termSeam || leak != sum.leakSite {
+		sum.termSeam, sum.leakSite = seam, leak
+		changed = true
+	}
+	v := &liveScan{prog: p, fi: fi, sum: sum, info: fi.Pkg.Info, fset: fi.Pkg.Fset, changed: &changed}
+	v.bindParams()
+	v.scanChanFacts()
+	v.lockStream(fi.Decl.Body)
+	return changed
+}
+
+// ---- blocking-op detection ----
+
+// selectGuards marks the comm statements (and their receive operands)
+// of every select in body: channel ops there are judged at the select,
+// not as bare blocking ops.
+func selectGuards(body ast.Node) map[ast.Node]bool {
+	g := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			g[cc.Comm] = true
+			switch s := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				g[ast.Unparen(s.X)] = true
+			case *ast.AssignStmt:
+				for _, r := range s.Rhs {
+					g[ast.Unparen(r)] = true
+				}
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// recvOperand returns the channel operand when stmt is a receive comm
+// clause statement; nil otherwise.
+func recvOperand(stmt ast.Stmt) ast.Expr {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+func typeIn(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := objectIn(info, id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	t := typeIn(info, e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// doneShaped reports whether e denotes a cancellation channel: a call
+// to a method named Done (context.Context.Done and its look-alikes), or
+// any channel whose element type is the empty struct.
+func doneShaped(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	t := typeIn(info, e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isDoneChanType reports whether t is a cancellation-channel type.
+func isDoneChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isContextType reports whether t is context.Context-shaped: a named
+// interface type called Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Context" {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Interface)
+	return ok
+}
+
+// hasCancellationParam reports whether sig threads a cancellation seam:
+// a context.Context-shaped parameter or a done-channel parameter.
+func hasCancellationParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if isContextType(t) || isDoneChanType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// syncBlockDesc describes call when it is one of the sync primitives
+// that can block its caller indefinitely; "" otherwise. Mutex locking
+// is deliberately excluded — lock waits are lockorder's domain, and
+// flagging every Lock would drown ctxflow's signal.
+func syncBlockDesc(info *types.Info, call *ast.CallExpr) string {
+	f := calleeIn(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return ""
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	switch namedTypeName(recv.Type()) + "." + f.Name() {
+	case "WaitGroup.Wait":
+		return "sync.WaitGroup.Wait may block indefinitely"
+	case "Cond.Wait":
+		return "sync.Cond.Wait may block indefinitely"
+	case "Once.Do":
+		return "sync.Once.Do may block behind another caller's in-flight run"
+	}
+	return ""
+}
+
+// namedTypeName returns the bare name of t's named type (through one
+// pointer); "" when unnamed.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// firstBlockingOp walks body (nested function literals excluded) in
+// source order and reports the first operation that may block
+// indefinitely. skip filters positions the caller has already audited.
+func firstBlockingOp(prog *Program, info *types.Info, body ast.Node, skip func(token.Pos) bool) (token.Pos, string, bool) {
+	guarded := selectGuards(body)
+	var pos token.Pos
+	var desc string
+	found := func(p token.Pos, format string, args ...any) bool {
+		if skip != nil && skip(p) {
+			return true // audited at the root: keep scanning for others
+		}
+		pos, desc = p, fmt.Sprintf(format, args...)
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its liveness is judged where it is spawned or called
+		case *ast.SendStmt:
+			if !guarded[n] {
+				return found(n.Pos(), "channel send outside select")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !guarded[n] && !doneShaped(info, n.X) {
+				return found(n.Pos(), "channel receive outside select")
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(info, n.X) && !doneShaped(info, n.X) {
+				return found(n.Pos(), "ranges over a channel, blocking between values")
+			}
+		case *ast.SelectStmt:
+			hasDefault, hasCancel := false, false
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				if op := recvOperand(cc.Comm); op != nil && doneShaped(info, op) {
+					hasCancel = true
+				}
+			}
+			if !hasDefault && !hasCancel {
+				return found(n.Pos(), "select with no default and no cancellation case")
+			}
+		case *ast.CallExpr:
+			if d := syncBlockDesc(info, n); d != "" {
+				return found(n.Pos(), "%s", d)
+			}
+			if callee := calleeIn(info, n); callee != nil {
+				if csum := prog.Summary(callee); csum != nil && csum.blockSite != "" {
+					return found(n.Pos(), "calls %s, which may block (%s)", callee.Name(), csum.blockSite)
+				}
+			}
+		}
+		return true
+	})
+	return pos, desc, pos.IsValid()
+}
+
+// ---- goroutine termination classification ----
+
+// goroutineTermination classifies a body spawned with `go`:
+//
+//	seam != ""  — provably terminates or winds down under cancellation
+//	leak != ""  — provably at risk: the named leak path
+//	both ""     — bounded: no loops, no blocking ops, runs off the end
+//
+// Precedence: an unbounded loop with no exit path, or a range over a
+// channel no in-program function closes, is a leak no matter what else
+// the body contains — a WaitGroup.Done after (or deferred around) a
+// loop that never ends is never reached.
+func goroutineTermination(prog *Program, info *types.Info, fset *token.FileSet, body ast.Node) (seam, leak string) {
+	// 1. Unbounded `for { … }` with no return/break/goto.
+	var loopPos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if loopPos.IsValid() {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil && !stmtExits(f.Body, true) {
+			loopPos = f.Pos()
+			return false
+		}
+		return true
+	})
+	if loopPos.IsValid() {
+		return "", fmt.Sprintf("%s: for-loop with no exit path", shortPos(fset, loopPos))
+	}
+
+	// 2. Ranges over channels: a sentinel return or a program-wide close
+	// witness makes each one a seam; one without either is a leak.
+	var rangeSeam, rangeLeak string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rangeLeak != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		r, ok := n.(*ast.RangeStmt)
+		if !ok || !isChanExpr(info, r.X) || doneShaped(info, r.X) {
+			return true
+		}
+		switch {
+		case stmtExits(r.Body, false):
+			if rangeSeam == "" {
+				rangeSeam = fmt.Sprintf("%s: ranges over %s with a sentinel return", shortPos(fset, r.Pos()), exprString(r.X))
+			}
+		default:
+			id := stableIDOf(info, r.X)
+			if w, ok := prog.closedChans[id]; ok && id != "" {
+				if rangeSeam == "" {
+					rangeSeam = fmt.Sprintf("%s: ranges over %s, which is closed elsewhere (%s)", shortPos(fset, r.Pos()), exprString(r.X), w)
+				}
+			} else {
+				rangeLeak = fmt.Sprintf("%s: ranges over channel %s, which no in-program function closes and whose body never returns", shortPos(fset, r.Pos()), exprString(r.X))
+			}
+		}
+		return true
+	})
+	if rangeLeak != "" {
+		return "", rangeLeak
+	}
+
+	// 3. Explicit seams: a WaitGroup.Done join, a select with a
+	// cancellation case, a receive from a cancellation channel.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if seam != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f := calleeIn(info, n); f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync" &&
+				f.Name() == "Done" && namedTypeName(recvType(f)) == "WaitGroup" {
+				seam = fmt.Sprintf("%s: joins via sync.WaitGroup.Done", shortPos(fset, n.Pos()))
+			}
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if op := recvOperand(cc.Comm); op != nil && doneShaped(info, op) {
+					seam = fmt.Sprintf("%s: selects on cancellation channel %s", shortPos(fset, n.Pos()), exprString(op))
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && doneShaped(info, n.X) {
+				seam = fmt.Sprintf("%s: receives from cancellation channel %s", shortPos(fset, n.Pos()), exprString(n.X))
+			}
+		}
+		return true
+	})
+	if seam == "" {
+		seam = rangeSeam
+	}
+	if seam != "" {
+		return seam, ""
+	}
+
+	// 4. No seam: any blocking op (or blocking callee) is a leak.
+	if pos, desc, ok := firstBlockingOp(prog, info, body, nil); ok {
+		return "", fmt.Sprintf("%s: no join, and %s", shortPos(fset, pos), desc)
+	}
+	return "", "" // bounded
+}
+
+func recvType(f *types.Func) types.Type {
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	return recv.Type()
+}
+
+// stmtExits reports whether executing s can leave the enclosing bare
+// loop: a return, a goto or labeled branch, or (when breakBinds) a
+// break. Function literals do not count — their control flow is their
+// own.
+func stmtExits(s ast.Stmt, breakBinds bool) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO || s.Label != nil {
+			return true
+		}
+		return s.Tok == token.BREAK && breakBinds
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			if stmtExits(t, breakBinds) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return stmtExits(s.Body, breakBinds) || stmtExits(s.Else, breakBinds)
+	case *ast.ForStmt:
+		return stmtExits(s.Body, false) // break binds to the inner loop
+	case *ast.RangeStmt:
+		return stmtExits(s.Body, false)
+	case *ast.LabeledStmt:
+		return stmtExits(s.Stmt, breakBinds)
+	case *ast.SwitchStmt:
+		return stmtExits(s.Body, false) // break binds to the switch
+	case *ast.TypeSwitchStmt:
+		return stmtExits(s.Body, false)
+	case *ast.SelectStmt:
+		return stmtExits(s.Body, false)
+	case *ast.CaseClause:
+		for _, t := range s.Body {
+			if stmtExits(t, breakBinds) {
+				return true
+			}
+		}
+	case *ast.CommClause:
+		for _, t := range s.Body {
+			if stmtExits(t, breakBinds) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- stable identities ----
+
+// trimModulePath shortens a package path for witness rendering.
+func trimModulePath(path string) string {
+	return strings.TrimPrefix(path, "qtenon/")
+}
+
+// stableIDOf computes a module-wide stable identity for a lock or
+// channel expression: "pkg.var" for a package-level variable,
+// "pkg.Type.field" for a field of a named type (any instance — the
+// identity names the lock/channel *class*). "" when the expression has
+// no stable identity (locals, map entries, …).
+func stableIDOf(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := objectIn(info, x).(*types.Var); ok && isPkgLevelVar(v) {
+			return trimModulePath(v.Pkg().Path()) + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		v, ok := objectIn(info, x.Sel).(*types.Var)
+		if !ok {
+			return ""
+		}
+		if isPkgLevelVar(v) {
+			return trimModulePath(v.Pkg().Path()) + "." + v.Name()
+		}
+		if v.IsField() {
+			t := typeIn(info, x.X)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return trimModulePath(n.Obj().Pkg().Path()) + "." + n.Obj().Name() + "." + v.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// ---- channel-role and lock-order scanning ----
+
+// liveScan folds one function's channel-role bits and lock events into
+// its summary and the program-level fact tables.
+type liveScan struct {
+	prog    *Program
+	fi      *FuncInfo
+	sum     *FuncSummary
+	info    *types.Info
+	fset    *token.FileSet
+	params  map[types.Object]bitset
+	changed *bool
+}
+
+func (v *liveScan) bindParams() {
+	v.params = map[types.Object]bitset{}
+	idx := 0
+	add := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range f.Names {
+				if obj := v.info.Defs[name]; obj != nil {
+					v.params[obj] = paramBit(idx)
+				}
+				idx++
+			}
+		}
+	}
+	add(v.fi.Decl.Recv)
+	add(v.fi.Decl.Type.Params)
+}
+
+func (v *liveScan) paramBitOf(e ast.Expr) bitset {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0
+	}
+	return v.params[objectIn(v.info, id)]
+}
+
+// scanChanFacts records which parameters the function may send on or
+// close (function literals included — these are may-facts) and
+// registers program-wide close witnesses for stably-identified
+// channels.
+func (v *liveScan) scanChanFacts() {
+	info := v.info
+	ast.Inspect(v.fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			v.noteChanSend(n.Chan)
+		case *ast.CallExpr:
+			if isBuiltinIn(info, n, "close") && len(n.Args) == 1 {
+				v.noteChanClose(n.Args[0], n.Pos())
+				return true
+			}
+			callee := calleeIn(info, n)
+			if callee == nil {
+				return true
+			}
+			csum := v.prog.Summary(callee)
+			if csum == nil {
+				return true
+			}
+			for i, arg := range n.Args {
+				if csum.ArgChanClosed(i) {
+					v.noteChanClose(arg, n.Pos())
+				}
+				if csum.ArgChanSent(i) {
+					v.noteChanSend(arg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (v *liveScan) noteChanSend(ch ast.Expr) {
+	if b := v.paramBitOf(ch); b != 0 && v.sum.chanSends&b != b {
+		v.sum.chanSends |= b
+		*v.changed = true
+	}
+}
+
+func (v *liveScan) noteChanClose(ch ast.Expr, pos token.Pos) {
+	if b := v.paramBitOf(ch); b != 0 && v.sum.chanCloses&b != b {
+		v.sum.chanCloses |= b
+		*v.changed = true
+	}
+	if id := stableIDOf(v.info, ch); id != "" {
+		if _, ok := v.prog.closedChans[id]; !ok {
+			v.prog.closedChans[id] = fmt.Sprintf("%s: closed by %s", shortPos(v.fset, pos), v.fi.Func.Name())
+			*v.changed = true
+		}
+	}
+}
+
+// mutexOp classifies f as a lock or unlock on sync.Mutex/RWMutex.
+func mutexOp(f *types.Func) string {
+	if f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch namedTypeName(recvType(f)) {
+	case "Mutex", "RWMutex":
+	default:
+		return ""
+	}
+	switch f.Name() {
+	case "Lock", "RLock":
+		return "lock"
+	case "Unlock", "RUnlock":
+		return "unlock"
+	}
+	return ""
+}
+
+const (
+	lockEv = iota
+	unlockEv
+	callEv
+)
+
+type lockEvent struct {
+	pos      token.Pos
+	kind     int
+	id       string
+	deferred bool
+	callee   *types.Func
+}
+
+type heldLock struct {
+	id  string
+	pos token.Pos
+}
+
+// lockStream replays body's lock events in source order against a held
+// stack, recording acquisition-order edges and the function's
+// transitive lock set. Each function literal is its own stream (it runs
+// on its own goroutine or at defer time, with its own empty stack).
+func (v *liveScan) lockStream(body ast.Node) {
+	var evs []lockEvent
+	var lits []*ast.FuncLit
+	deferred := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			callee := calleeIn(v.info, n)
+			if callee == nil {
+				return true
+			}
+			if op := mutexOp(callee); op != "" {
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id := lockTargetID(v.info, sel.X)
+				if id == "" {
+					return true
+				}
+				kind := lockEv
+				if op == "unlock" {
+					kind = unlockEv
+				}
+				evs = append(evs, lockEvent{pos: n.Pos(), kind: kind, id: id, deferred: deferred[n]})
+				return true
+			}
+			if csum := v.prog.Summary(callee); csum != nil && len(csum.locks) > 0 {
+				evs = append(evs, lockEvent{pos: n.Pos(), kind: callEv, callee: callee})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+
+	fname := v.fi.Func.Name()
+	var held []heldLock
+	for _, e := range evs {
+		switch e.kind {
+		case lockEv:
+			for _, h := range held {
+				if h.id != e.id {
+					v.addLockEdge(h.id, e.id, e.pos, fmt.Sprintf(
+						"%s: %s acquires %s while holding %s (held since %s)",
+						shortPos(v.fset, e.pos), fname, e.id, h.id, shortPos(v.fset, h.pos)))
+				}
+			}
+			held = append(held, heldLock{e.id, e.pos})
+			v.noteLockAcq(e.id, fmt.Sprintf("%s: acquired by %s", shortPos(v.fset, e.pos), fname))
+		case unlockEv:
+			if e.deferred {
+				continue // released at return: held for the rest of the stream
+			}
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].id == e.id {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case callEv:
+			csum := v.prog.Summary(e.callee)
+			if csum == nil {
+				continue
+			}
+			for _, id := range csum.LockSet() {
+				v.noteLockAcq(id, fmt.Sprintf("%s: %s calls %s, which acquires %s (%s)",
+					shortPos(v.fset, e.pos), fname, e.callee.Name(), id, csum.locks[id]))
+				alreadyHeld := false
+				for _, h := range held {
+					if h.id == id {
+						alreadyHeld = true
+					}
+				}
+				if alreadyHeld {
+					continue
+				}
+				for _, h := range held {
+					v.addLockEdge(h.id, id, e.pos, fmt.Sprintf(
+						"%s: %s calls %s, which acquires %s (%s), while holding %s (held since %s)",
+						shortPos(v.fset, e.pos), fname, e.callee.Name(), id, csum.locks[id], h.id, shortPos(v.fset, h.pos)))
+				}
+			}
+		}
+	}
+	for _, lit := range lits {
+		v.lockStream(lit.Body)
+	}
+}
+
+// lockTargetID resolves the receiver expression of a Lock/Unlock call
+// to a stable lock-class identity; embedded mutexes promote to the
+// embedding named type.
+func lockTargetID(info *types.Info, e ast.Expr) string {
+	if id := stableIDOf(info, e); id != "" {
+		return id
+	}
+	// s.Lock() on an embedded sync.Mutex: identify by the embedding type.
+	t := typeIn(info, e)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() != "sync" {
+		return trimModulePath(n.Obj().Pkg().Path()) + "." + n.Obj().Name()
+	}
+	return ""
+}
+
+func (v *liveScan) noteLockAcq(id, witness string) {
+	if v.sum.locks == nil {
+		v.sum.locks = map[string]string{}
+	}
+	if _, ok := v.sum.locks[id]; !ok {
+		v.sum.locks[id] = witness
+		*v.changed = true
+	}
+}
+
+func (v *liveScan) addLockEdge(from, to string, pos token.Pos, witness string) {
+	key := lockPair{from, to}
+	if _, ok := v.prog.lockEdges[key]; ok {
+		return
+	}
+	v.prog.lockEdges[key] = &lockEdge{pos: pos, pkg: v.fi.Pkg.Path, witness: witness}
+	*v.changed = true
+}

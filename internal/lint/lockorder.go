@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// LockOrder proves the module's lock-acquisition order acyclic
+// (DESIGN.md §15.3). The v4 summaries feed a program-wide directed
+// graph: an edge (A, B) is the first witness of any function —
+// transitively through its callees — acquiring lock class B while
+// holding A. A cycle in that graph is a latent deadlock: two goroutines
+// entering the cycle from different edges stall forever, which no test
+// and no -race run will catch until production traffic interleaves just
+// so. Every edge that can reach its own tail is reported, carrying both
+// witness chains — its own and a shortest conflicting path back.
+//
+// Lock classes are stable identities (package-level mutexes, mutex
+// fields of named types — see stableIDOf); function-local mutexes never
+// produce edges. Each edge is reported exactly once module-wide, in the
+// package whose source produced the witness.
+var LockOrder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "interprocedural lock-acquisition graph must be acyclic; cycles reported with both witness chains",
+	Design: "§15.3",
+	Run:    runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "qtenon") {
+		return nil
+	}
+	prog := pass.Prog
+	if prog == nil || len(prog.lockEdges) == 0 {
+		return nil
+	}
+	keys := make([]lockPair, 0, len(prog.lockEdges))
+	for pair := range prog.lockEdges {
+		keys = append(keys, pair)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	adj := map[string][]string{}
+	for _, pair := range keys {
+		adj[pair.from] = append(adj[pair.from], pair.to)
+	}
+	for _, k := range keys {
+		e := prog.lockEdges[k]
+		if e.pkg != pass.Pkg.Path() {
+			continue // reported in the package that owns the witness
+		}
+		path := lockPath(adj, k.to, k.from)
+		if path == nil {
+			continue
+		}
+		witnesses := make([]string, 0, len(path))
+		for _, p := range path {
+			witnesses = append(witnesses, prog.lockEdges[p].witness)
+		}
+		pass.Reportf(e.pos, "lock order cycle between %s and %s: %s — conflicting with the reverse chain: %s",
+			k.from, k.to, e.witness, strings.Join(witnesses, "; then "))
+	}
+	return nil
+}
+
+// lockPath finds a shortest edge path from → to in the acquisition
+// graph (BFS, deterministic because adjacency lists are sorted); nil
+// when unreachable.
+func lockPath(adj map[string][]string, from, to string) []lockPair {
+	if from == to {
+		return nil
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == to {
+				var path []lockPair
+				for n := to; n != from; n = prev[n] {
+					path = append([]lockPair{{prev[n], n}}, path...)
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}

@@ -15,6 +15,10 @@ func All() []*Analyzer {
 		BitExact,
 		ShardSafety,
 		RoutePurity,
+		GoroutineLifecycle,
+		ChanDiscipline,
+		LockOrder,
+		CtxFlow,
 	}
 }
 

@@ -1,0 +1,40 @@
+// Package bad seeds the channel-ownership violations chandiscipline
+// flags (DESIGN.md §15.2): helper-side closes, send-after-close and
+// double-close panics — direct and through a callee's summary — and an
+// unguarded hot-path send on an unbuffered channel.
+package bad
+
+// CloseParam closes a channel it does not own.
+func CloseParam(out chan int) {
+	close(out) // want `close of channel parameter "out": channels are closed by their owner, not by helpers`
+}
+
+// SendAfterClose panics at the send.
+func SendAfterClose() {
+	c := make(chan int, 1)
+	close(c)
+	c <- 1 // want `send on channel "c", which closed at bad.go:\d+: send on closed channel panics`
+}
+
+// DoubleClose panics at the second close.
+func DoubleClose() {
+	c := make(chan int)
+	close(c)
+	close(c) // want `channel "c" closed twice \(already closed at bad.go:\d+\): double close panics`
+}
+
+// SendAfterHelperClose sees the close only through CloseParam's
+// summary.
+func SendAfterHelperClose() {
+	c := make(chan int, 1)
+	CloseParam(c)
+	c <- 2 // want `send on channel "c", which may be closed by the call to CloseParam at bad.go:\d+: send on closed channel panics`
+}
+
+// KernelSend is annotated hot, so the unguarded send on a channel of
+// unknown capacity is a latent kernel stall.
+//
+//qtenon:hotpath
+func KernelSend(out chan int) {
+	out <- 1 // want `hot path sends on "out" outside a select, and the channel is not provably buffered`
+}

@@ -1,0 +1,39 @@
+// Package good carries the sanctioned channel shapes: owners closing
+// their own channels after the last send, completion signalled by a
+// send rather than a helper close, and hot-path sends that are either
+// select-guarded or provably buffered (DESIGN.md §15.2).
+package good
+
+// OwnerCloses makes, fills, and closes its own channel — the canonical
+// ownership shape.
+func OwnerCloses() chan int {
+	c := make(chan int, 4)
+	c <- 1
+	close(c)
+	return c
+}
+
+// Signal reports completion with a send; the owner keeps the close.
+func Signal(done chan struct{}) {
+	done <- struct{}{}
+}
+
+// KernelBuffered sends on a channel traced to a positive constant
+// capacity, so the hot-path send cannot stall.
+//
+//qtenon:hotpath
+func KernelBuffered() {
+	c := make(chan int, 8)
+	c <- 1
+	close(c)
+}
+
+// KernelSelectSend guards the hot-path send with a default arm.
+//
+//qtenon:hotpath
+func KernelSelectSend(out chan int) {
+	select {
+	case out <- 1:
+	default:
+	}
+}

@@ -1,0 +1,10 @@
+// Package alib is the dependency side of the cross-package
+// chandiscipline fixture: CloseIt's close effect travels to the sibling
+// package only through its chanCloses summary bit.
+package alib
+
+// CloseIt closes its argument on behalf of the caller — the ownership
+// inversion chandiscipline exists to flag.
+func CloseIt(ch chan int) {
+	close(ch) // want `close of channel parameter "ch": channels are closed by their owner, not by helpers`
+}

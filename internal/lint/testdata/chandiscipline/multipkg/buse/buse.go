@@ -1,0 +1,21 @@
+// Package buse exercises chandiscipline's interprocedural leg: the
+// send-after-close is visible only because alib.CloseIt's summary says
+// it may close its argument.
+package buse
+
+import "qtenon/fixture/chandiscipline/multipkg/alib"
+
+// SendAfter panics at the send if CloseIt ran.
+func SendAfter() {
+	c := make(chan int, 1)
+	alib.CloseIt(c)
+	c <- 1 // want `send on channel "c", which may be closed by the call to CloseIt at buse.go:\d+: send on closed channel panics`
+}
+
+// ReadAfter only receives, which drains fine after a close.
+func ReadAfter() int {
+	c := make(chan int, 1)
+	c <- 7
+	alib.CloseIt(c)
+	return <-c
+}

@@ -1,0 +1,35 @@
+// Package bad seeds the cancellation-seam violations ctxflow flags
+// (DESIGN.md §15.4): blocking with no seam in the signature, blocking
+// inherited through a callee's summary, and the worse half — a
+// signature that advertises a seam the blocking op ignores.
+package bad
+
+import "context"
+
+// RecvNoSeam blocks on a bare receive and nobody can stop it.
+func RecvNoSeam(c chan int) int { // want `RecvNoSeam may block indefinitely and threads no cancellation seam`
+	return <-c
+}
+
+// CallerInherits blocks only through its callee's summary — the
+// witness chain names the path.
+func CallerInherits(c chan int) int { // want `CallerInherits may block indefinitely and threads no cancellation seam .*calls RecvNoSeam, which may block`
+	return RecvNoSeam(c)
+}
+
+// DecoratedSeam takes a context but still blocks outside it — callers
+// believe cancellation works.
+func DecoratedSeam(ctx context.Context, c chan int) int { // want `DecoratedSeam advertises a cancellation seam but may still block outside it`
+	_ = ctx
+	return <-c
+}
+
+// NakedSelect has neither a default nor a cancellation case.
+func NakedSelect(a, b chan int) int { // want `NakedSelect may block indefinitely and threads no cancellation seam`
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,43 @@
+// Package good threads its cancellation seams properly: every
+// potentially-blocking op sits under a select that includes the seam,
+// or carries a default arm that makes it best-effort (DESIGN.md §15.4).
+package good
+
+import "context"
+
+// RecvGuarded blocks only under a select that includes the context's
+// done channel.
+func RecvGuarded(ctx context.Context, c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// RecvDone winds down through a done-channel parameter — the
+// channel-shaped spelling of the same seam.
+func RecvDone(done chan struct{}, c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+// TrySend never blocks: the default arm makes the send best-effort.
+func TrySend(c chan int, v int) bool {
+	select {
+	case c <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitDone parks on the seam itself, which is never a block witness.
+func WaitDone(done chan struct{}) {
+	<-done
+}

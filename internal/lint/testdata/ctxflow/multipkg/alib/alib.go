@@ -1,0 +1,9 @@
+// Package alib is the dependency side of the cross-package ctxflow
+// fixture: Blocker's block witness reaches the sibling package only
+// through its summary.
+package alib
+
+// Blocker parks on a bare receive with no seam.
+func Blocker(c chan int) int { // want `Blocker may block indefinitely and threads no cancellation seam`
+	return <-c
+}

@@ -1,0 +1,11 @@
+// Package buse exercises ctxflow's interprocedural leg: Caller never
+// touches a channel op itself, yet inherits alib.Blocker's block
+// witness through the cross-package summary.
+package buse
+
+import "qtenon/fixture/ctxflow/multipkg/alib"
+
+// Caller blocks one call deep.
+func Caller(c chan int) int { // want `Caller may block indefinitely and threads no cancellation seam .*calls Blocker, which may block`
+	return alib.Blocker(c)
+}

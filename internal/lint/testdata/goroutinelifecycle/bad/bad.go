@@ -1,0 +1,33 @@
+// Package bad seeds the goroutine-leak shapes goroutinelifecycle
+// exists to flag: a fire-and-forget range over a channel nothing
+// closes, a spin loop with no exit, and a bare blocking receive with no
+// join — each the daemon-drowning leak DESIGN.md §15.1 describes.
+package bad
+
+// SpawnWorker leaks: the worker ranges over jobs, no in-program
+// function ever closes jobs, and the body never returns.
+func SpawnWorker(jobs chan int) {
+	go func() { // want `goroutine has no termination witness — .*ranges over channel jobs, which no in-program function closes`
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// SpinForever leaks through the named callee's summary.
+func SpinForever() {
+	go spin() // want `go spin has no termination witness — .*for-loop with no exit path`
+}
+
+// spin never exits; whether that is a leak is judged at the spawn.
+func spin() {
+	for {
+	}
+}
+
+// WaitForever leaks: a bare receive with no join and no seam.
+func WaitForever(c chan int) {
+	go func() { // want `goroutine has no termination witness — .*no join, and channel receive outside select`
+		<-c
+	}()
+}

@@ -1,0 +1,81 @@
+// Package good carries the sanctioned goroutine shapes: Done-balanced
+// joins, cancellation selects, sentinel returns, ranges over channels
+// the owner closes, and bounded bodies — each a termination witness
+// goroutinelifecycle accepts (DESIGN.md §15.1).
+package good
+
+import "sync"
+
+// queue is closed by its owner at shutdown, which is what gives
+// PumpAll's range its seam.
+var queue = make(chan int, 8)
+
+// FanOut joins every spawn through the WaitGroup.
+func FanOut(n int, out []float64) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = float64(i)
+		}(i)
+	}
+	//lint:ignore ctxflow bounded join — every spawned body Dones unconditionally via defer (DESIGN.md §15.4)
+	wg.Wait()
+}
+
+// Watch winds down through the cancellation case.
+func Watch(done chan struct{}, events chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case e := <-events:
+				_ = e
+			}
+		}
+	}()
+}
+
+// Drain stops on the sentinel value.
+func Drain(c chan int) {
+	go func() {
+		for v := range c {
+			if v < 0 {
+				return
+			}
+		}
+	}()
+}
+
+// PumpAll ranges over the package-level queue, which CloseQueue closes
+// — the program-wide close witness is the seam.
+func PumpAll() {
+	go func() {
+		for v := range queue {
+			_ = v
+		}
+	}()
+}
+
+// CloseQueue is the owner-side shutdown that terminates PumpAll.
+func CloseQueue() {
+	close(queue)
+}
+
+// FireBounded spawns a body with no loops and no blocking ops: it runs
+// off the end, which is its own witness.
+func FireBounded() {
+	go func() {
+		_ = 1 + 1
+	}()
+}
+
+// tick is bounded, so spawning it by name is fine too.
+func tick() {}
+
+// FireNamed spawns a bounded named callee.
+func FireNamed() {
+	go tick()
+}

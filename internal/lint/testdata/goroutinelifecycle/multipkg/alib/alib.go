@@ -1,0 +1,22 @@
+// Package alib is the dependency side of the cross-package
+// goroutinelifecycle fixture: whether a worker leaks is judged at the
+// spawn site in the sibling package, through the summary alone.
+package alib
+
+// Worker drains jobs with no termination seam of its own; the verdict
+// belongs to whoever spawns it.
+func Worker(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+// Sentinel stops on a negative value — a termination seam visible in
+// its summary across the package boundary.
+func Sentinel(jobs chan int) {
+	for j := range jobs {
+		if j < 0 {
+			return
+		}
+	}
+}

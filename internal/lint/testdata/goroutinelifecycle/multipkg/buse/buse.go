@@ -1,0 +1,16 @@
+// Package buse exercises goroutinelifecycle's interprocedural leg: the
+// spawned callee's termination verdict comes only from alib's
+// summaries.
+package buse
+
+import "qtenon/fixture/goroutinelifecycle/multipkg/alib"
+
+// SpawnBad leaks: Worker's summary carries the leak witness.
+func SpawnBad(jobs chan int) {
+	go alib.Worker(jobs) // want `go Worker has no termination witness — .*ranges over channel jobs, which no in-program function closes`
+}
+
+// SpawnGood is clean: Sentinel's summary carries a seam.
+func SpawnGood(jobs chan int) {
+	go alib.Sentinel(jobs)
+}

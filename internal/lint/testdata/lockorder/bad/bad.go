@@ -1,0 +1,28 @@
+// Package bad seeds the AB/BA deadlock lockorder exists to catch
+// (DESIGN.md §15.3): two functions acquiring the same package-level
+// mutexes in opposite orders.
+package bad
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// ABPath acquires muB while holding muA.
+func ABPath() {
+	muA.Lock()
+	muB.Lock() // want `lock order cycle between fixture/lockorder/bad.muA and fixture/lockorder/bad.muB`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// BAPath acquires muA while holding muB — the reverse ordering that
+// closes the cycle.
+func BAPath() {
+	muB.Lock()
+	muA.Lock() // want `lock order cycle between fixture/lockorder/bad.muB and fixture/lockorder/bad.muA`
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -1,0 +1,53 @@
+// Package good keeps a consistent acquisition order, so the lock graph
+// stays acyclic no matter how many functions touch the locks
+// (DESIGN.md §15.3).
+package good
+
+import "sync"
+
+var (
+	outer sync.Mutex
+	inner sync.Mutex
+)
+
+// registry shows the named-field lock class: every instance shares one
+// identity, and the order against the package locks stays consistent.
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+// Nested always takes outer before inner.
+func Nested() {
+	outer.Lock()
+	defer outer.Unlock()
+	inner.Lock()
+	defer inner.Unlock()
+}
+
+// NestedAgain repeats the same order — same edge, no cycle.
+func NestedAgain() int {
+	outer.Lock()
+	defer outer.Unlock()
+	inner.Lock()
+	defer inner.Unlock()
+	return 1
+}
+
+// InnerAlone takes the inner lock without the outer — no edge at all.
+func InnerAlone() {
+	inner.Lock()
+	inner.Unlock()
+}
+
+// Add orders the field lock after the package locks, consistently.
+func (r *registry) Add(k string, v int) {
+	outer.Lock()
+	defer outer.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.items == nil {
+		r.items = map[string]int{}
+	}
+	r.items[k] = v
+}

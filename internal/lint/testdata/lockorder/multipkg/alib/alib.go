@@ -1,0 +1,21 @@
+// Package alib is the dependency side of the cross-package lockorder
+// fixture: it encodes the B-before-A ordering, and exports both locks
+// so the sibling package can close the cycle from the other direction.
+package alib
+
+import "sync"
+
+var (
+	// MuA and MuB are the shared lock classes of the fixture.
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// BThenA acquires MuA while holding MuB — one half of the cycle,
+// witnessed inside this package.
+func BThenA() {
+	MuB.Lock()
+	MuA.Lock() // want `lock order cycle between fixture/lockorder/multipkg/alib.MuB and fixture/lockorder/multipkg/alib.MuA`
+	MuA.Unlock()
+	MuB.Unlock()
+}

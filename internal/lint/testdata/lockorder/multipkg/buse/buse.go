@@ -1,0 +1,13 @@
+// Package buse closes the lock cycle across the package boundary: it
+// holds alib.MuA while calling a function whose summary acquires
+// alib.MuB — an edge no single-package view can see.
+package buse
+
+import "qtenon/fixture/lockorder/multipkg/alib"
+
+// AThenCall holds MuA across a call that (transitively) takes MuB.
+func AThenCall() {
+	alib.MuA.Lock()
+	alib.BThenA() // want `lock order cycle between fixture/lockorder/multipkg/alib.MuA and fixture/lockorder/multipkg/alib.MuB`
+	alib.MuA.Unlock()
+}

@@ -60,11 +60,29 @@ type job struct {
 	chunk int
 	next  atomic.Int64
 	wg    sync.WaitGroup
+	// aborted stops further chunk claims after a body panic; panicked
+	// holds the first recovered panic value, re-raised on the dispatching
+	// goroutine once every participant has drained. Both stay untouched
+	// (two relaxed loads per chunk) on the non-panicking path.
+	aborted  atomic.Bool
+	panicked atomic.Pointer[any]
 }
 
-// run drains chunks until the job is exhausted.
+// run drains chunks until the job is exhausted or aborted. A panic in
+// the body is captured (first one wins) and aborts the job: siblings
+// stop claiming new chunks, so a poisoned loop cancels early instead of
+// grinding through the remaining index space.
 func (j *job) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked.CompareAndSwap(nil, &r)
+			j.aborted.Store(true)
+		}
+	}()
 	for {
+		if j.aborted.Load() {
+			return
+		}
 		c := int(j.next.Add(1)) - 1
 		lo := c * j.chunk
 		if lo >= j.n {
@@ -103,11 +121,30 @@ func ensureSpawned(n int) {
 		if spawned.CompareAndSwap(cur, cur+1) {
 			go func() {
 				for j := range work {
+					if j == nil {
+						return // Shutdown poison: the pool is winding down
+					}
 					j.run()
 					j.wg.Done()
 				}
 			}()
 		}
+	}
+}
+
+// Shutdown winds the persistent pool down to zero goroutines: every
+// live worker is handed a nil poison job and the spawn count resets, so
+// the next parallel call respawns a fresh pool. It is a quiescence seam
+// for tests and the simsan goroutine-leak canary, not a serving-path
+// operation; the caller must ensure no dispatch is in flight.
+func Shutdown() {
+	n := int(spawned.Swap(0))
+	for i := 0; i < n; i++ {
+		// The queue's capacity exceeds any real worker count and, by the
+		// quiescence precondition, workers are parked receiving on it, so
+		// poison delivery is bounded.
+		//lint:ignore ctxflow poison send into a buffered queue whose receivers are idle by precondition (DESIGN.md §15.4)
+		work <- nil
 	}
 }
 
@@ -128,7 +165,18 @@ func dispatch(j *job, helpers int) {
 		}
 	}
 	j.run()
+	// The join is structurally bounded: every worker holding a wg slot is
+	// running chunks of this same finite job (or skipping them after an
+	// abort), so Wait cannot outlive the job — the caller participates
+	// rather than parks, which is the sanctioned fan-out shape.
+	//lint:ignore ctxflow bounded join — helpers finish their claimed chunks of a finite job and Done unconditionally (DESIGN.md §15.4)
 	j.wg.Wait()
+	if p := j.panicked.Load(); p != nil {
+		// Re-raise the body's panic on the calling goroutine, after every
+		// participant has stopped touching the job — the same contract as a
+		// serial loop, minus the chunks cancelled by the abort.
+		panic(*p)
+	}
 }
 
 // For executes body over a partition of [0, n): body(lo, hi) is called

@@ -142,3 +142,82 @@ func TestWorkersDefault(t *testing.T) {
 	}
 	SetWorkers(0)
 }
+
+// A body panic must cancel the job early (siblings stop claiming
+// chunks) and re-raise on the dispatching goroutine — same contract as
+// a serial loop.
+func TestDoPanicPropagates(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	const n = 64
+	var executed atomic.Int32
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		Do(n, func(i int) {
+			executed.Add(1)
+			if i == 3 {
+				panic("poisoned item 3")
+			}
+		})
+	}()
+	if recovered != "poisoned item 3" {
+		t.Fatalf("recovered %v, want the body's panic value", recovered)
+	}
+	if got := executed.Load(); got > n {
+		t.Fatalf("executed %d items of %d — abort re-ran chunks", got, n)
+	}
+
+	// The pool must survive a poisoned job: the panic aborted one job,
+	// not the workers, so the next dispatch computes normally.
+	covers(t, n, func(mark func(i int)) {
+		Do(n, mark)
+	})
+}
+
+// The serial path (one worker) re-raises the panic identically, so the
+// contract does not depend on the pool.
+func TestDoPanicSerial(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		Do(4, func(i int) {
+			if i == 2 {
+				panic("serial poison")
+			}
+		})
+	}()
+	if recovered != "serial poison" {
+		t.Fatalf("recovered %v, want the body's panic value", recovered)
+	}
+}
+
+// A panicking For body cancels remaining chunks: with chunk-granular
+// claims and an immediate first-chunk panic, the abort flag must stop
+// the job well short of grinding through the whole index space on the
+// panicking participant alone.
+func TestForPanicAborts(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	const n = 8 * SerialThreshold
+	var touched atomic.Int64
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		For(n, func(lo, hi int) {
+			touched.Add(int64(hi - lo))
+			panic("first chunk poison")
+		})
+	}()
+	if recovered == nil {
+		t.Fatal("panic did not propagate out of For")
+	}
+	// Every participant can touch at most one chunk before observing the
+	// abort flag; with 4 workers + the caller that bounds the damage far
+	// below n.
+	if got := touched.Load(); got > int64(8*chunkSize) {
+		t.Fatalf("touched %d indices after a first-chunk panic, want early abort (≤ %d)", got, 8*chunkSize)
+	}
+}

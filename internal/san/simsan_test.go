@@ -3,7 +3,9 @@
 package san_test
 
 import (
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"qtenon/internal/san"
@@ -61,4 +63,34 @@ func TestCanarySkipsFullBuffers(t *testing.T) {
 func TestFailfNamesComponent(t *testing.T) {
 	mustPanic(t, func() { san.Failf("pipeline.Scheduler", "slot %d double-booked", 3) },
 		"simsan: pipeline.Scheduler: slot 3 double-booked")
+}
+
+// TestGoroutineLeakCanaryFires seeds the violation the goroutine
+// canary exists for: a goroutine parked on a channel nobody has closed
+// keeps the live count above baseline through the settle window.
+func TestGoroutineLeakCanaryFires(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-block
+		close(done)
+	}()
+	mustPanic(t, func() { san.CheckGoroutineLeak("san.test", baseline) },
+		"simsan: san.test:", "goroutine leak", "no termination seam")
+	close(block)
+	<-done // unwind before the next test measures anything
+}
+
+// TestGoroutineLeakCanarySettles proves the other half: goroutines
+// that terminate inside the settle window are not leaks.
+func TestGoroutineLeakCanarySettles(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+	san.CheckGoroutineLeak("san.test", baseline) // must not panic
 }
